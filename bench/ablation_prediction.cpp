@@ -1,0 +1,81 @@
+// Ablation: accuracy of the observational cost model (Section IV.D) as the
+// tree is perturbed further and further from the tree the coefficients were
+// observed on. This quantifies the paper's implicit assumption that
+// one-step-ahead predictions (a FineGrainedOptimize batch, one incremental
+// S step) are trustworthy while far extrapolations are not -- the reason the
+// balancer re-observes every time step.
+#include <cmath>
+#include <cstdio>
+
+#include "balance/cost_model.hpp"
+#include "common.hpp"
+#include "util/rng.hpp"
+
+using namespace afmm;
+using namespace afmm::bench;
+
+int main(int argc, char** argv) {
+  const long n = arg_or(argc, argv, "n", 60000);
+  const int order = static_cast<int>(arg_or(argc, argv, "order", 4));
+
+  Rng rng(2013);
+  PlummerOptions opt;
+  opt.scale_radius = 1.0;
+  opt.max_radius = 8.0;
+  auto set = plummer(static_cast<std::size_t>(n), rng, opt);
+
+  TreeConfig tc;
+  tc.root_center = {0, 0, 0};
+  tc.root_half = 8.0;
+  tc.leaf_capacity = 48;
+
+  ExpansionContext ctx(order);
+  NodeSimulator node(system_a_cpu(10), GpuSystemConfig::uniform(2));
+
+  AdaptiveOctree tree;
+  tree.build(set.positions, tc);
+  CostModel model(1.0);
+  model.observe(observe_tree(tree, node, ctx), node.cpu().num_cores);
+
+  std::printf("Prediction ablation: coefficients observed at S=48 on a\n"
+              "Plummer N=%ld tree; error of predicted CPU/GPU times after\n"
+              "collapsing increasingly many bottom parents.\n", n);
+
+  Table table({"collapsed_nodes", "pred_cpu_err_pct", "pred_gpu_err_pct"});
+  table.mirror_csv("ablation_prediction.csv");
+
+  int total_collapsed = 0;
+  for (int batch : {0, 4, 8, 16, 32, 64, 128, 256}) {
+    while (total_collapsed < batch) {
+      int target = -1;
+      for (int id = 0; id < tree.num_nodes(); ++id) {
+        if (tree.is_effective_leaf(id) || tree.node(id).count == 0) continue;
+        bool bottom = true;
+        for (int c : tree.node(id).children)
+          if (!tree.is_effective_leaf(c)) bottom = false;
+        if (bottom) {
+          target = id;
+          break;
+        }
+      }
+      if (target < 0) break;
+      tree.collapse(target);
+      ++total_collapsed;
+    }
+    const auto truth = observe_tree(tree, node, ctx);
+    const auto counts =
+        count_operations(tree, build_interaction_lists(tree));
+    const double cpu_err =
+        100.0 * std::abs(model.predict_cpu(counts, node.cpu().num_cores) -
+                         truth.cpu_seconds) /
+        truth.cpu_seconds;
+    const double gpu_err =
+        100.0 *
+        std::abs(model.predict_gpu(counts) - truth.gpu_seconds) /
+        truth.gpu_seconds;
+    table.add_row({Table::integer(total_collapsed), Table::num(cpu_err, 3),
+                   Table::num(gpu_err, 3)});
+  }
+  table.print("Ablation | cost-model error vs distance from observed tree");
+  return 0;
+}

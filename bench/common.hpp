@@ -1,0 +1,132 @@
+// Shared machinery for the per-figure/table bench binaries.
+//
+// Most paper figures report *times*, not forces, so the benches use
+// timing-only observation: the machine model supplies the virtual CPU time
+// of the far-field task graph and the GPU SIMT model supplies the kernel
+// times of the partitioned P2P work -- no numerics are executed unless an
+// experiment's workload trajectory requires them. This keeps every bench
+// runnable in seconds-to-minutes on one host core while exercising exactly
+// the code paths the load balancer sees.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "balance/load_balancer.hpp"
+#include "core/fmm_solver.hpp"
+#include "dist/distributions.hpp"
+#include "gpusim/p2p_executor.hpp"
+#include "machine/machine.hpp"
+#include "octree/octree.hpp"
+#include "octree/traversal.hpp"
+#include "util/table.hpp"
+
+namespace afmm::bench {
+
+// Paper test system A: 2x Xeon X5670 (12 cores, 6 per socket) + Tesla C2050s.
+inline CpuModelConfig system_a_cpu(int cores) {
+  CpuModelConfig cpu;
+  cpu.num_cores = cores;
+  cpu.cores_per_socket = 6;
+  return cpu;
+}
+
+// Paper test system B: 4x Xeon X7560 (32 cores, 8 per socket), no GPUs.
+inline CpuModelConfig system_b_cpu(int cores) {
+  CpuModelConfig cpu;
+  cpu.num_cores = cores;
+  cpu.cores_per_socket = 8;
+  return cpu;
+}
+
+// Timing-only observation of one solve on `tree` (see file comment).
+inline ObservedStepTimes observe_tree(const AdaptiveOctree& tree,
+                                      const NodeSimulator& node,
+                                      const ExpansionContext& ctx,
+                                      const TraversalConfig& traversal = {},
+                                      int m2l_passes = 1,
+                                      double flops_per_interaction = 20.0) {
+  const auto lists = build_interaction_lists(tree, traversal);
+  auto t = node.simulate_far_field(ctx, tree, lists, m2l_passes);
+  const int g = static_cast<int>(node.gpus().devices.size());
+  const auto parts = partition_p2p_work(lists.p2p, g, node.gpus().partition);
+  double worst = 0.0;
+  for (int d = 0; d < g; ++d) {
+    const auto shapes = collect_shapes(tree, lists.p2p, parts[d]);
+    worst = std::max(worst, simulate_kernel(node.gpus().devices[d], shapes,
+                                            flops_per_interaction)
+                                .seconds);
+  }
+  t.gpu_seconds = worst;
+  return t;
+}
+
+// Replays a recorded workload trajectory under one load-balancing strategy,
+// producing the per-step series Figs. 8-10 report. Each step: rebin moved
+// bodies, let the balancer act, observe the (virtual) solve times.
+struct ReplayRecord {
+  double compute_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double gpu_seconds = 0.0;
+  double lb_seconds = 0.0;
+  int S = 0;
+  LbState state = LbState::kSearch;
+  double total_seconds() const { return compute_seconds + lb_seconds; }
+};
+
+// `positions(step)` must return the body positions at time step `step` for
+// step = 0 .. num_steps; the returned span only needs to stay valid until
+// the next call.
+template <typename PositionProvider>
+std::vector<ReplayRecord> replay_strategy(
+    PositionProvider&& positions, std::size_t num_steps,
+    const TreeConfig& tree_config, const LoadBalancerConfig& lb_config,
+    const NodeSimulator& node, const ExpansionContext& ctx,
+    const TraversalConfig& traversal = {}, int m2l_passes = 1,
+    double flops_per_interaction = 20.0) {
+  std::vector<ReplayRecord> out;
+  AdaptiveOctree tree;
+  TreeConfig tc = tree_config;
+  tc.leaf_capacity = lb_config.initial_S;
+  tree.build(positions(0), tc);
+  LoadBalancer balancer(lb_config, traversal);
+
+  ObservedStepTimes observed =
+      observe_tree(tree, node, ctx, traversal, m2l_passes,
+                   flops_per_interaction);
+  for (std::size_t step = 1; step <= num_steps; ++step) {
+    ReplayRecord rec;
+    const std::span<const Vec3> pos = positions(step);
+    // Re-binning moved bodies is part of the position update every strategy
+    // pays identically (the paper's Table II counts only balancing actions
+    // as LB time), so it is charged to neither compute nor LB here.
+    tree.rebin(pos);
+    const auto lb = balancer.post_step(tree, pos, observed, node);
+    rec.lb_seconds += lb.lb_seconds;
+    rec.S = lb.S;
+    rec.state = lb.state_after;
+
+    observed = observe_tree(tree, node, ctx, traversal, m2l_passes,
+                            flops_per_interaction);
+    rec.compute_seconds = observed.compute_seconds();
+    rec.cpu_seconds = observed.cpu_seconds;
+    rec.gpu_seconds = observed.gpu_seconds;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+// Simple "--key value" argument lookup with environment fallback
+// (AFMM_<KEY>), so `for b in build/bench/*; do $b; done` runs with defaults
+// while full-scale runs stay one flag away.
+inline long arg_or(int argc, char** argv, const std::string& key, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--" + key) return std::atol(argv[i + 1]);
+  std::string env = "AFMM_" + key;
+  for (auto& c : env) c = static_cast<char>(std::toupper(c));
+  if (const char* v = std::getenv(env.c_str())) return std::atol(v);
+  return fallback;
+}
+
+}  // namespace afmm::bench

@@ -1,0 +1,52 @@
+// Fig. 4: the "Uniform Gap". With a UNIFORM (fixed-depth) decomposition the
+// octree depth is d = ceil(log8(N/S)), so sweeping S produces a small number
+// of discrete cost regimes -- whole levels appear or vanish at critical S
+// values, and the CPU/GPU costs jump by large factors at those boundaries.
+// Between regimes nothing changes at all, which makes accurate CPU-vs-GPU
+// balancing impossible with a uniform tree.
+//
+// Workload: uniform cube (the distribution a uniform FMM is designed for).
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/rng.hpp"
+
+using namespace afmm;
+using namespace afmm::bench;
+
+int main(int argc, char** argv) {
+  const long n = arg_or(argc, argv, "n", 50000);
+  const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
+
+  Rng rng(2013);
+  auto set = uniform_cube(static_cast<std::size_t>(n), rng, {0.5, 0.5, 0.5}, 0.5);
+
+  TreeConfig tc;
+  tc.root_center = {0.5, 0.5, 0.5};
+  tc.root_half = 0.5;
+
+  ExpansionContext ctx(order);
+  NodeSimulator node(system_a_cpu(10), GpuSystemConfig::uniform(1));
+
+  Table table({"S", "depth", "cpu_s", "gpu_s", "compute_s"});
+  table.mirror_csv("fig04_uniform_gap.csv");
+  std::printf("Fig. 4 reproduction: uniform decomposition, N=%ld uniform.\n"
+              "depth = ceil(log8(N/S)): sweeping S yields discrete cost\n"
+              "regimes with large jumps at level boundaries.\n", n);
+
+  for (int s = 8; s <= 1024; s = s * 5 / 4 + 1) {
+    const int depth = std::max(
+        0, static_cast<int>(std::ceil(std::log(static_cast<double>(n) / s) /
+                                      std::log(8.0))));
+    AdaptiveOctree tree;
+    tc.leaf_capacity = s;
+    tree.build_uniform(set.positions, tc, std::min(depth, 6));
+    const auto t = observe_tree(tree, node, ctx);
+    table.add_row({Table::integer(s), Table::integer(depth),
+                   Table::num(t.cpu_seconds), Table::num(t.gpu_seconds),
+                   Table::num(t.compute_seconds())});
+  }
+  table.print("Fig. 4 | uniform decomposition cost regimes (the Uniform Gap)");
+  return 0;
+}

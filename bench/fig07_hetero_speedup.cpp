@@ -1,0 +1,90 @@
+// Fig. 7: heterogeneous node speedup as a function of S for six CPU/GPU
+// configurations, relative to a single-core serial run (expansion AND direct
+// work on one core, at the serial run's own optimal S).
+//
+// Expected shape (paper, Section VIII.E): ~98x peak for 10 cores + 4 GPUs;
+// CPU-starved configs (4C_4G) fall BELOW better-fed ones with fewer GPUs
+// (10C_2G) because feeding idle GPUs means converting cheap expansion work
+// into asymptotically inferior direct work.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/rng.hpp"
+
+using namespace afmm;
+using namespace afmm::bench;
+
+int main(int argc, char** argv) {
+  // N large enough that the Plummer tree refines smoothly across the whole
+  // S sweep (the paper uses 1M bodies).
+  const long n = arg_or(argc, argv, "n", 200000);
+  const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
+
+  Rng rng(2013);
+  PlummerOptions opt;
+  opt.scale_radius = 1.0;
+  opt.max_radius = 8.0;
+  auto set = plummer(static_cast<std::size_t>(n), rng, opt);
+
+  TreeConfig tc;
+  tc.root_center = {0, 0, 0};
+  tc.root_half = 8.0;
+
+  ExpansionContext ctx(order);
+
+  // Serial baseline: everything on one core, at the serial-optimal S.
+  NodeSimulator serial(system_a_cpu(1), GpuSystemConfig::uniform(1));
+  double serial_best = 1e300;
+  int serial_s = 0;
+  for (int s = 8; s <= 256; s = s * 4 / 3 + 1) {
+    AdaptiveOctree tree;
+    tc.leaf_capacity = s;
+    tree.build(set.positions, tc);
+    const auto lists = build_interaction_lists(tree);
+    const double t = serial.serial_all_cpu_seconds(ctx, tree, lists);
+    if (t < serial_best) {
+      serial_best = t;
+      serial_s = s;
+    }
+  }
+  std::printf("Fig. 7 reproduction: Plummer N=%ld. Serial baseline (1 core,\n"
+              "far+direct, S=%d): %.3fs. Speedup vs S for six configs:\n",
+              n, serial_s, serial_best);
+
+  struct Config {
+    const char* name;
+    int cores;
+    int gpus;
+  };
+  const Config configs[] = {{"4C_1G", 4, 1},  {"10C_1G", 10, 1},
+                            {"4C_2G", 4, 2},  {"10C_2G", 10, 2},
+                            {"4C_4G", 4, 4},  {"10C_4G", 10, 4}};
+
+  Table table({"S", "4C_1G", "10C_1G", "4C_2G", "10C_2G", "4C_4G", "10C_4G"});
+  table.mirror_csv("fig07_hetero_speedup.csv");
+  std::vector<double> best(6, 0.0);
+
+  for (int s = 16; s <= 1024; s = s * 4 / 3 + 1) {
+    AdaptiveOctree tree;
+    tc.leaf_capacity = s;
+    tree.build(set.positions, tc);
+    std::vector<std::string> row{Table::integer(s)};
+    for (int c = 0; c < 6; ++c) {
+      NodeSimulator node(system_a_cpu(configs[c].cores),
+                         GpuSystemConfig::uniform(configs[c].gpus));
+      const auto t = observe_tree(tree, node, ctx);
+      const double speedup = serial_best / t.compute_seconds();
+      best[c] = std::max(best[c], speedup);
+      row.push_back(Table::num(speedup));
+    }
+    table.add_row(row);
+  }
+  table.print("Fig. 7 | heterogeneous speedup vs S (relative to 1-core serial)");
+
+  Table peak({"config", "peak_speedup"});
+  for (int c = 0; c < 6; ++c)
+    peak.add_row({configs[c].name, Table::num(best[c])});
+  peak.print("Fig. 7 | peak speedup per configuration "
+             "(paper: 10C_4G ~98x; 10C_2G ~64x beats 4C_4G ~57x)");
+  return 0;
+}

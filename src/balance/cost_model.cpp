@@ -1,0 +1,53 @@
+#include "balance/cost_model.hpp"
+
+#include <algorithm>
+
+namespace afmm {
+
+void CostModel::blend(double& coef, double total, double count) {
+  if (count <= 0.0) return;  // keep the previous coefficient
+  const double sample = total / count;
+  coef = (observations_ == 0) ? sample : (alpha_ * sample + (1 - alpha_) * coef);
+}
+
+void CostModel::observe(const ObservedStepTimes& t, int num_cores) {
+  blend(c_.p2m_per_body, t.t_p2m, static_cast<double>(t.counts.p2m_bodies));
+  blend(c_.m2m, t.t_m2m, static_cast<double>(t.counts.m2m));
+  blend(c_.m2l, t.t_m2l, static_cast<double>(t.counts.m2l));
+  blend(c_.l2l, t.t_l2l, static_cast<double>(t.counts.l2l));
+  blend(c_.l2p_per_body, t.t_l2p, static_cast<double>(t.counts.l2p_bodies));
+  blend(c_.p2p, t.gpu_seconds,
+        static_cast<double>(t.counts.p2p_interactions));
+
+  const double work = t.t_p2m + t.t_m2m + t.t_m2l + t.t_l2l + t.t_l2p;
+  if (t.cpu_seconds > 0.0 && num_cores > 0) {
+    const double eff =
+        std::clamp(work / (t.cpu_seconds * num_cores), 0.05, 1.0);
+    c_.cpu_efficiency = (observations_ == 0)
+                            ? eff
+                            : (alpha_ * eff + (1 - alpha_) * c_.cpu_efficiency);
+  }
+  ++observations_;
+}
+
+double CostModel::predict_cpu(const OpCounts& m, int num_cores) const {
+  const double work =
+      c_.p2m_per_body * static_cast<double>(m.p2m_bodies) +
+      c_.m2m * static_cast<double>(m.m2m) +
+      c_.m2l * static_cast<double>(m.m2l) +
+      c_.l2l * static_cast<double>(m.l2l) +
+      c_.l2p_per_body * static_cast<double>(m.l2p_bodies);
+  const double denom =
+      std::max(1e-9, static_cast<double>(num_cores) * c_.cpu_efficiency);
+  return work / denom;
+}
+
+double CostModel::predict_gpu(const OpCounts& m) const {
+  return c_.p2p * static_cast<double>(m.p2p_interactions);
+}
+
+double CostModel::predict_compute(const OpCounts& m, int num_cores) const {
+  return std::max(predict_cpu(m, num_cores), predict_gpu(m));
+}
+
+}  // namespace afmm

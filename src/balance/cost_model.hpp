@@ -1,0 +1,61 @@
+// Observational time-costing model (paper Section IV.D).
+//
+// After each solve, per-operation coefficients are derived from observed
+// times: coefficient = total observed time of the operation / number of
+// applications. The GPU coefficient divides the maximum kernel time by the
+// total number of P2P interactions, so it captures the whole GPU system's
+// efficiency on the *current* tree shape (occupancy, ragged blocks, ...).
+//
+// The CPU coefficients are per-application thread-time; predicting a wall
+// clock from them additionally needs the parallel efficiency of the task
+// schedule, which is observed the same way (work / (makespan * cores)).
+//
+// Coefficients are smoothed with an EWMA so a single noisy step cannot whip
+// the balancer around.
+#pragma once
+
+#include "machine/machine.hpp"
+#include "octree/traversal.hpp"
+
+namespace afmm {
+
+struct CostCoefficients {
+  // Seconds per application (CPU ops are per-application thread-seconds;
+  // P2M / L2P are per covered body).
+  double p2m_per_body = 0.0;
+  double m2m = 0.0;
+  double m2l = 0.0;
+  double l2l = 0.0;
+  double l2p_per_body = 0.0;
+  // Seconds per P2P body-pair interaction, whole GPU system.
+  double p2p = 0.0;
+  // Observed parallel efficiency of the far-field task schedule.
+  double cpu_efficiency = 1.0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(double smoothing = 0.5) : alpha_(smoothing) {}
+
+  // Feed one step's observation (times must include gpu_seconds).
+  void observe(const ObservedStepTimes& t, int num_cores);
+
+  bool ready() const { return observations_ > 0; }
+  int observations() const { return observations_; }
+  const CostCoefficients& coefficients() const { return c_; }
+
+  // Predicted wall-clock times for a (possibly hypothetical) tree whose
+  // operation counts are `m` -- the paper's T_cpu / T_gpu formulas.
+  double predict_cpu(const OpCounts& m, int num_cores) const;
+  double predict_gpu(const OpCounts& m) const;
+  double predict_compute(const OpCounts& m, int num_cores) const;
+
+ private:
+  void blend(double& coef, double total, double count);
+
+  double alpha_;
+  CostCoefficients c_;
+  int observations_ = 0;
+};
+
+}  // namespace afmm

@@ -1,0 +1,282 @@
+#include "balance/load_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace afmm {
+
+const char* to_string(LbState s) {
+  switch (s) {
+    case LbState::kSearch: return "search";
+    case LbState::kIncremental: return "incremental";
+    case LbState::kObservation: return "observation";
+  }
+  return "?";
+}
+
+const char* to_string(LbStrategy s) {
+  switch (s) {
+    case LbStrategy::kStatic: return "static";
+    case LbStrategy::kEnforceOnly: return "enforce-only";
+    case LbStrategy::kFull: return "full";
+  }
+  return "?";
+}
+
+LoadBalancer::LoadBalancer(const LoadBalancerConfig& config,
+                           TraversalConfig traversal)
+    : config_(config),
+      traversal_(traversal),
+      model_(config.smoothing),
+      s_(config.initial_S),
+      search_lo_(config.min_S),
+      search_hi_(config.max_S) {}
+
+bool LoadBalancer::gap_ok(const ObservedStepTimes& t) const {
+  const double gap = std::abs(t.cpu_seconds - t.gpu_seconds);
+  return gap <= std::max(config_.gap_seconds,
+                         config_.gap_relative * t.compute_seconds());
+}
+
+void LoadBalancer::rebuild(AdaptiveOctree& tree,
+                           std::span<const Vec3> positions, LbStepReport& r,
+                           const NodeSimulator& node) {
+  TreeConfig cfg = tree.config();
+  cfg.leaf_capacity = s_;
+  tree.build(positions, cfg);
+  r.rebuilt = true;
+  r.lb_seconds += node.rebuild_seconds(positions.size(), tree.num_nodes());
+}
+
+OpCounts LoadBalancer::dry_run(const AdaptiveOctree& tree) const {
+  const auto lists = build_interaction_lists(tree, traversal_);
+  return count_operations(tree, lists);
+}
+
+int LoadBalancer::fine_grained_optimize(AdaptiveOctree& tree,
+                                        const NodeSimulator& node,
+                                        LbStepReport& r) {
+  const int cores = node.cpu().num_cores;
+  int total_ops = 0;
+
+  OpCounts counts = dry_run(tree);
+  double current = model_.predict_compute(counts, cores);
+  r.lb_seconds += node.enforce_seconds(1, tree.num_bodies());
+
+  for (int batch = 0; batch < config_.fgo_max_batches; ++batch) {
+    const bool cpu_heavy = model_.predict_cpu(counts, cores) >
+                           model_.predict_gpu(counts);
+
+    // Candidate selection. CPU too slow -> collapse "bottom" parents (all
+    // children effective leaves), cheapest bodies first, moving expansion
+    // work into direct work. GPU too slow -> push the fullest leaves down.
+    std::vector<int> candidates;
+    for (int id = 0; id < tree.num_nodes(); ++id) {
+      if (tree.node(id).count == 0) continue;
+      if (cpu_heavy) {
+        if (tree.is_effective_leaf(id)) continue;
+        bool bottom = true;
+        for (int c : tree.node(id).children)
+          if (!tree.is_effective_leaf(c)) {
+            bottom = false;
+            break;
+          }
+        if (bottom) candidates.push_back(id);
+      } else {
+        if (tree.is_effective_leaf(id) &&
+            tree.node(id).level < tree.config().max_depth &&
+            tree.node(id).count > 1)
+          candidates.push_back(id);
+      }
+    }
+    if (candidates.empty()) break;
+    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      const auto ca = tree.node(a).count;
+      const auto cb = tree.node(b).count;
+      // Collapse small nodes first; push down large leaves first.
+      return cpu_heavy ? ca < cb : ca > cb;
+    });
+
+    const int k = std::min<int>(config_.fgo_batch,
+                                static_cast<int>(candidates.size()));
+    std::vector<int> applied(candidates.begin(), candidates.begin() + k);
+    for (int id : applied) {
+      if (cpu_heavy)
+        tree.collapse(id);
+      else
+        tree.push_down(id);
+    }
+
+    counts = dry_run(tree);
+    const double predicted = model_.predict_compute(counts, cores);
+    r.lb_seconds += node.enforce_seconds(k, tree.num_bodies());
+
+    if (predicted < current) {
+      current = predicted;
+      total_ops += k;
+      continue;
+    }
+    // The batch made things worse: revert it (collapse and push_down are
+    // exact inverses on an unchanged body set) and stop.
+    for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+      if (cpu_heavy)
+        tree.push_down(*it);
+      else
+        tree.collapse(*it);
+    }
+    counts = dry_run(tree);
+    break;
+  }
+
+  r.predicted_compute = current;
+  r.fgo_ops += total_ops;
+  return total_ops;
+}
+
+LbStepReport LoadBalancer::post_step(AdaptiveOctree& tree,
+                                     std::span<const Vec3> positions,
+                                     const ObservedStepTimes& observed,
+                                     const NodeSimulator& node) {
+  model_.observe(observed, node.cpu().num_cores);
+
+  LbStepReport r;
+  r.state_before = state_;
+  r.S = s_;
+
+  if (reset_best_next_) {
+    best_compute_ = observed.compute_seconds();
+    reset_best_next_ = false;
+  }
+
+  switch (state_) {
+    case LbState::kSearch:
+      step_search(tree, positions, observed, node, r);
+      break;
+    case LbState::kIncremental:
+      step_incremental(tree, positions, observed, node, r);
+      break;
+    case LbState::kObservation:
+      step_observation(tree, observed, node, r);
+      break;
+  }
+
+  r.state_after = state_;
+  r.S = s_;
+  r.best_compute = best_compute_;
+  return r;
+}
+
+void LoadBalancer::step_search(AdaptiveOctree& tree,
+                               std::span<const Vec3> positions,
+                               const ObservedStepTimes& observed,
+                               const NodeSimulator& node, LbStepReport& r) {
+  ++search_steps_;
+
+  const bool done = gap_ok(observed) ||
+                    search_steps_ >= config_.max_search_steps ||
+                    search_hi_ - search_lo_ <= std::max(1, search_lo_ / 8);
+  if (done) {
+    best_compute_ = observed.compute_seconds();
+    if (config_.strategy == LbStrategy::kFull) {
+      state_ = LbState::kIncremental;
+      last_dominant_ = observed.cpu_seconds > observed.gpu_seconds ? +1 : -1;
+    } else {
+      state_ = LbState::kObservation;
+    }
+    return;
+  }
+
+  // Bisect in log space: CPU-dominant means too much expansion work, so S
+  // must grow (bigger leaves shift work to the GPU); GPU-dominant shrinks S.
+  if (observed.cpu_seconds > observed.gpu_seconds)
+    search_lo_ = s_;
+  else
+    search_hi_ = s_;
+  const double mid = std::sqrt(static_cast<double>(search_lo_) *
+                               static_cast<double>(search_hi_));
+  const int next = std::clamp(static_cast<int>(std::lround(mid)),
+                              config_.min_S, config_.max_S);
+  if (next == s_) {
+    best_compute_ = observed.compute_seconds();
+    state_ = (config_.strategy == LbStrategy::kFull) ? LbState::kIncremental
+                                                     : LbState::kObservation;
+    return;
+  }
+  s_ = next;
+  rebuild(tree, positions, r, node);
+}
+
+void LoadBalancer::step_incremental(AdaptiveOctree& tree,
+                                    std::span<const Vec3> positions,
+                                    const ObservedStepTimes& observed,
+                                    const NodeSimulator& node,
+                                    LbStepReport& r) {
+  const int dominant =
+      observed.cpu_seconds > observed.gpu_seconds ? +1 : -1;
+
+  if (last_dominant_ != 0 && dominant != last_dominant_) {
+    // The dominant computational unit flipped: the transitional S is found.
+    if (!gap_ok(observed) && config_.enable_fgo)
+      fine_grained_optimize(tree, node, r);
+    best_compute_ = std::min(observed.compute_seconds(),
+                             best_compute_ < 0 ? observed.compute_seconds()
+                                               : best_compute_);
+    state_ = LbState::kObservation;
+    last_dominant_ = 0;
+    return;
+  }
+  last_dominant_ = dominant;
+
+  const int step = std::max(1, s_ / 8);
+  const int next =
+      std::clamp(s_ + dominant * step, config_.min_S, config_.max_S);
+  if (next == s_) {
+    best_compute_ = observed.compute_seconds();
+    state_ = LbState::kObservation;
+    return;
+  }
+  s_ = next;
+  rebuild(tree, positions, r, node);
+}
+
+void LoadBalancer::step_observation(AdaptiveOctree& tree,
+                                    const ObservedStepTimes& observed,
+                                    const NodeSimulator& node,
+                                    LbStepReport& r) {
+  const double compute = observed.compute_seconds();
+  if (best_compute_ < 0.0 || compute < best_compute_) best_compute_ = compute;
+  if (compute <= best_compute_ * (1.0 + config_.band)) return;  // all good
+
+  if (config_.strategy == LbStrategy::kStatic) return;
+
+  // First line of defense: re-establish the global S.
+  r.enforce_ops = tree.enforce_S(s_);
+  r.lb_seconds += node.enforce_seconds(std::max(1, r.enforce_ops),
+                                       tree.num_bodies());
+
+  if (config_.strategy == LbStrategy::kEnforceOnly) {
+    // Strategy 2: the step right after Enforce_S becomes the new best time.
+    reset_best_next_ = true;
+    return;
+  }
+
+  const int cores = node.cpu().num_cores;
+  OpCounts counts = dry_run(tree);
+  double predicted = model_.predict_compute(counts, cores);
+  r.lb_seconds += node.enforce_seconds(1, tree.num_bodies());
+
+  if (predicted > best_compute_ * (1.0 + config_.band) && config_.enable_fgo) {
+    fine_grained_optimize(tree, node, r);
+    predicted = r.predicted_compute;
+  }
+  r.predicted_compute = predicted;
+
+  if (predicted > best_compute_ * (1.0 + config_.band)) {
+    // Fine tuning failed: fall back to incremental adjustment of S.
+    state_ = LbState::kIncremental;
+    last_dominant_ = 0;
+    reset_best_next_ = true;
+  }
+}
+
+}  // namespace afmm

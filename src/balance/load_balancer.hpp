@@ -1,0 +1,129 @@
+// The paper's dynamic load balancer (Sections V-VII).
+//
+// States (Section V): the balancer is always in exactly one of
+//   Search       -- binary search for a global S; tree rebuilt every step
+//   Incremental  -- S nudged by one increment per step (with rebuild)
+//   Observation  -- steady state; act only when the compute time drifts more
+//                   than `band` (5%) above the best time seen
+//
+// Enforcement mechanisms (Section VI):
+//   Enforce_S            -- re-establish the global S over the whole tree
+//   FineGrainedOptimize  -- batched local Collapse / PushDown, driven by the
+//                           cost model's predictions, applied until the
+//                           predicted compute time stops improving
+//
+// Workflow (Section VII.B): Search -> Incremental when |CPU-GPU| <= gap;
+// Incremental -> Observation when the dominant device flips (running
+// FineGrainedOptimize first if the gap is still large); Observation ->
+// Incremental when enforcement + fine tuning cannot bring the predicted time
+// back within the band.
+//
+// The three strategies of Section IX.A are selected with LbStrategy:
+//   kStatic      -- strategy 1: initial search only, never touch the tree
+//   kEnforceOnly -- strategy 2: initial search, then Enforce_S on >5% drift
+//   kFull        -- strategy 3: everything above
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "balance/cost_model.hpp"
+#include "machine/machine.hpp"
+#include "octree/octree.hpp"
+#include "octree/traversal.hpp"
+
+namespace afmm {
+
+enum class LbState { kSearch, kIncremental, kObservation };
+enum class LbStrategy { kStatic, kEnforceOnly, kFull };
+
+const char* to_string(LbState s);
+const char* to_string(LbStrategy s);
+
+struct LoadBalancerConfig {
+  LbStrategy strategy = LbStrategy::kFull;
+  int initial_S = 64;
+  int min_S = 4;
+  int max_S = 4096;
+  // Search ends when |CPU - GPU| <= max(gap_seconds, gap_relative * compute).
+  // The paper uses an absolute 0.15 s on ~1 s steps; the relative form is the
+  // scale-free default so small problems balance equally tightly.
+  double gap_seconds = 0.0;
+  double gap_relative = 0.15;
+  int max_search_steps = 15;
+  double band = 0.05;         // 5% tolerance around the best time
+  // Fig. 10's ablation: the full strategy with FineGrainedOptimize disabled.
+  bool enable_fgo = true;
+  int fgo_batch = 8;          // nodes modified per FineGrainedOptimize batch
+  int fgo_max_batches = 64;
+  double smoothing = 0.5;     // cost model EWMA
+};
+
+struct LbStepReport {
+  LbState state_before = LbState::kSearch;
+  LbState state_after = LbState::kSearch;
+  int S = 0;
+  bool rebuilt = false;
+  int enforce_ops = 0;
+  int fgo_ops = 0;
+  double lb_seconds = 0.0;       // virtual cost of all balancing work
+  double predicted_compute = 0.0;
+  double best_compute = 0.0;
+};
+
+class LoadBalancer {
+ public:
+  LoadBalancer(const LoadBalancerConfig& config, TraversalConfig traversal);
+
+  // Digest the observed times of the step just solved and prepare the tree
+  // for the next step. `positions` must match the tree's bodies (already
+  // rebinned). Returns what was done and its virtual cost.
+  LbStepReport post_step(AdaptiveOctree& tree,
+                         std::span<const Vec3> positions,
+                         const ObservedStepTimes& observed,
+                         const NodeSimulator& node);
+
+  int current_S() const { return s_; }
+  LbState state() const { return state_; }
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  bool gap_ok(const ObservedStepTimes& t) const;
+  void rebuild(AdaptiveOctree& tree, std::span<const Vec3> positions,
+               LbStepReport& r, const NodeSimulator& node);
+  OpCounts dry_run(const AdaptiveOctree& tree) const;
+
+  // Returns the number of collapse/push_down operations applied.
+  int fine_grained_optimize(AdaptiveOctree& tree, const NodeSimulator& node,
+                            LbStepReport& r);
+
+  void step_search(AdaptiveOctree& tree, std::span<const Vec3> positions,
+                   const ObservedStepTimes& observed, const NodeSimulator& node,
+                   LbStepReport& r);
+  void step_incremental(AdaptiveOctree& tree, std::span<const Vec3> positions,
+                        const ObservedStepTimes& observed,
+                        const NodeSimulator& node, LbStepReport& r);
+  void step_observation(AdaptiveOctree& tree,
+                        const ObservedStepTimes& observed,
+                        const NodeSimulator& node, LbStepReport& r);
+
+  LoadBalancerConfig config_;
+  TraversalConfig traversal_;
+  CostModel model_;
+  LbState state_ = LbState::kSearch;
+  int s_;
+
+  // Search state: bracket on S (log-space bisection).
+  int search_lo_;
+  int search_hi_;
+  int search_steps_ = 0;
+
+  // Incremental state.
+  int last_dominant_ = 0;  // 0 unknown, +1 CPU-dominant, -1 GPU-dominant
+
+  // Observation state.
+  double best_compute_ = -1.0;
+  bool reset_best_next_ = false;  // strategy 2: re-baseline after Enforce_S
+};
+
+}  // namespace afmm

@@ -1,0 +1,109 @@
+#include "core/barnes_hut.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace afmm {
+
+namespace {
+constexpr double kSqrt3 = 1.7320508075688772;
+}
+
+BarnesHutSolver::BarnesHutSolver(const BarnesHutConfig& config)
+    : config_(config), ctx_(config.order) {}
+
+BarnesHutResult BarnesHutSolver::solve(const AdaptiveOctree& tree,
+                                       std::span<const Vec3> positions,
+                                       std::span<const double> charges,
+                                       const GravityKernel& kernel) const {
+  if (positions.size() != charges.size() ||
+      positions.size() != tree.num_bodies())
+    throw std::invalid_argument("BarnesHutSolver::solve: size mismatch");
+
+  const auto pos = tree.sorted_positions();
+  const auto perm = tree.perm();
+  const std::size_t n = tree.num_bodies();
+  const int nc = ctx_.ncoef();
+
+  std::vector<double> q_tree;
+  tree.gather(charges, q_tree);
+
+  // Up sweep: multipoles for every nonempty effective node (serial is fine;
+  // the traversal below dominates).
+  std::vector<double> M(static_cast<std::size_t>(tree.num_nodes()) * nc, 0.0);
+  auto upsweep = [&](auto&& self, int id) -> void {
+    const OctreeNode& node = tree.node(id);
+    if (node.count == 0) return;
+    if (tree.is_effective_leaf(id)) {
+      ctx_.p2m(node.center, pos.data() + node.begin, q_tree.data() + node.begin,
+               static_cast<int>(node.count),
+               M.data() + static_cast<std::size_t>(id) * nc);
+      return;
+    }
+    for (int c : node.children) {
+      self(self, c);
+      if (tree.node(c).count == 0) continue;
+      ctx_.m2m(tree.node(c).center, node.center,
+               M.data() + static_cast<std::size_t>(c) * nc,
+               M.data() + static_cast<std::size_t>(id) * nc);
+    }
+  };
+  if (!tree.empty()) upsweep(upsweep, tree.root());
+
+  BarnesHutResult out;
+  out.potential.assign(n, 0.0);
+  out.gradient.assign(n, Vec3{});
+  std::uint64_t m2p_total = 0;
+  std::uint64_t p2p_total = 0;
+
+  const double theta = config_.theta;
+#pragma omp parallel for schedule(dynamic, 64) \
+    reduction(+ : m2p_total, p2p_total)
+  for (std::size_t b = 0; b < n; ++b) {
+    const Vec3 x = pos[b];
+    double pot = 0.0;
+    Vec3 grad;
+
+    // Explicit stack: recursion per body would spill on deep trees.
+    int stack[128];
+    int top = 0;
+    stack[top++] = tree.root();
+    while (top > 0) {
+      const int id = stack[--top];
+      const OctreeNode& node = tree.node(id);
+      if (node.count == 0) continue;
+
+      const double d2 = norm2(x - node.center);
+      const double r = node.half * kSqrt3;
+      const bool accept = d2 > 0.0 && (r * r) <= theta * theta * d2;
+      if (accept) {
+        const auto v =
+            ctx_.m2p(node.center, M.data() + static_cast<std::size_t>(id) * nc,
+                     x);
+        pot += v.potential;
+        grad += v.gradient;
+        ++m2p_total;
+        continue;
+      }
+      if (tree.is_effective_leaf(id)) {
+        GravityAccum acc;
+        for (std::uint32_t s = node.begin; s < node.begin + node.count; ++s)
+          kernel.accumulate(x, perm[b], {pos[s], q_tree[s]}, perm[s], acc);
+        pot += acc.pot;
+        grad += acc.grad;
+        p2p_total += node.count;
+        continue;
+      }
+      for (int c : node.children) stack[top++] = c;
+    }
+
+    out.potential[perm[b]] = pot;
+    out.gradient[perm[b]] = grad;
+  }
+
+  out.m2p_applications = m2p_total;
+  out.p2p_interactions = p2p_total;
+  return out;
+}
+
+}  // namespace afmm

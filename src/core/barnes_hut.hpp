@@ -1,0 +1,60 @@
+// Barnes-Hut treecode baseline.
+//
+// The paper's introduction motivates the FMM over "Barnes-Hut style
+// methods" because the FMM provides bounded precision more naturally. This
+// baseline makes that comparison concrete: the same adaptive octree and the
+// same multipole machinery, but evaluation is per TARGET BODY -- each body
+// walks the tree and accepts a cell via the opening criterion
+//
+//     R_cell / dist(body, cell center) <= theta
+//
+// evaluating the cell's multipole directly at the body (M2P; order 1 gives
+// the classic monopole treecode) and descending otherwise, down to direct
+// P2P at the leaves. Cost is O(N log N) with a per-body error that varies
+// with the local geometry, vs the FMM's O(N) with uniformly bounded error
+// -- exactly the trade the paper cites. The comparison is quantified in
+// bench/ablation_barnes_hut.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "expansion/operators.hpp"
+#include "kernels/gravity.hpp"
+#include "octree/octree.hpp"
+
+namespace afmm {
+
+struct BarnesHutConfig {
+  int order = 1;       // multipole order used at accepted cells
+  double theta = 0.5;  // opening criterion
+};
+
+struct BarnesHutResult {
+  std::vector<double> potential;  // original body order
+  std::vector<Vec3> gradient;
+  std::uint64_t m2p_applications = 0;   // accepted cell-body pairs
+  std::uint64_t p2p_interactions = 0;   // direct body pairs
+};
+
+class BarnesHutSolver {
+ public:
+  explicit BarnesHutSolver(const BarnesHutConfig& config);
+
+  // `tree` must be built from `positions`. Runs the up sweep (P2M/M2M) and
+  // the per-body traversals with OpenMP parallelism over bodies.
+  BarnesHutResult solve(const AdaptiveOctree& tree,
+                        std::span<const Vec3> positions,
+                        std::span<const double> charges,
+                        const GravityKernel& kernel = GravityKernel{}) const;
+
+  const ExpansionContext& context() const { return ctx_; }
+  const BarnesHutConfig& config() const { return config_; }
+
+ private:
+  BarnesHutConfig config_;
+  ExpansionContext ctx_;
+};
+
+}  // namespace afmm

@@ -1,0 +1,278 @@
+#include "core/fmm_solver.hpp"
+
+#include <omp.h>
+
+#include <stdexcept>
+
+namespace afmm {
+
+namespace {
+// Subtrees smaller than this recurse serially instead of spawning a task.
+constexpr std::uint32_t kTaskCutoff = 256;
+}  // namespace
+
+HarmonicFarField::HarmonicFarField(const FmmConfig& config)
+    : config_(config), ctx_(config.order) {}
+
+void HarmonicFarField::evaluate(const AdaptiveOctree& tree,
+                                const InteractionLists& lists,
+                                std::span<const std::vector<double>> charges,
+                                std::vector<std::vector<PointValue>>& out,
+                                OpTimers* timers) const {
+  const int nrhs = static_cast<int>(charges.size());
+  const std::size_t nbody = tree.num_bodies();
+  for (const auto& q : charges)
+    if (q.size() != nbody)
+      throw std::invalid_argument("HarmonicFarField: charge vector size");
+
+  const int nc = ctx_.ncoef();
+  const int nn = tree.num_nodes();
+  const std::size_t per_node = static_cast<std::size_t>(nrhs) * nc;
+  std::vector<double> M(per_node * nn, 0.0);
+  std::vector<double> L(per_node * nn, 0.0);
+  const auto pos = tree.sorted_positions();
+
+  out.assign(nrhs, std::vector<PointValue>(nbody));
+
+  auto mcoef = [&](int node, int r) {
+    return M.data() + per_node * node + static_cast<std::size_t>(r) * nc;
+  };
+  auto lcoef = [&](int node, int r) {
+    return L.data() + per_node * node + static_cast<std::size_t>(r) * nc;
+  };
+
+  // ---- up sweep: P2M at effective leaves, M2M on the way back up ---------
+  auto upsweep = [&](auto&& self, int id) -> void {
+    const OctreeNode& n = tree.node(id);
+    if (n.count == 0) return;
+    if (tree.is_effective_leaf(id)) {
+      OpTimers::Scoped timer(timers, FmmOp::kP2M, n.count);
+      for (int r = 0; r < nrhs; ++r)
+        ctx_.p2m(n.center, pos.data() + n.begin, charges[r].data() + n.begin,
+                 static_cast<int>(n.count), mcoef(id, r));
+      return;
+    }
+    for (int c : n.children) {
+      const bool spawn = tree.node(c).count > kTaskCutoff;
+      if (spawn) {
+#pragma omp task firstprivate(c)
+        self(self, c);
+      } else {
+        self(self, c);
+      }
+    }
+#pragma omp taskwait
+    std::uint64_t shifted = 0;
+    for (int c : n.children)
+      shifted += tree.node(c).count > 0 ? 1 : 0;
+    OpTimers::Scoped timer(timers, FmmOp::kM2M, shifted);
+    for (int c : n.children) {
+      const OctreeNode& ch = tree.node(c);
+      if (ch.count == 0) continue;
+      for (int r = 0; r < nrhs; ++r)
+        ctx_.m2m(ch.center, n.center, mcoef(c, r), mcoef(id, r));
+    }
+  };
+
+  // ---- down sweep: M2L + L2L at each node, L2P at effective leaves -------
+  auto downsweep = [&](auto&& self, int id) -> void {
+    const OctreeNode& n = tree.node(id);
+    if (n.count == 0) return;
+    {
+      const auto m2l_count = lists.m2l_offset[id + 1] - lists.m2l_offset[id];
+      OpTimers::Scoped timer(m2l_count ? timers : nullptr, FmmOp::kM2L,
+                             m2l_count);
+      for (std::uint32_t e = lists.m2l_offset[id];
+           e < lists.m2l_offset[id + 1]; ++e) {
+        const int src = lists.m2l_sources[e];
+        ctx_.m2l_multi(tree.node(src).center, n.center, mcoef(src, 0),
+                       lcoef(id, 0), nrhs, nc);
+      }
+    }
+    // Extension: accumulate small well-separated source leaves directly
+    // into this node's local expansion (P2L).
+    if (!lists.p2l_offset.empty() &&
+        lists.p2l_offset[id + 1] > lists.p2l_offset[id]) {
+      OpTimers::Scoped timer(timers, FmmOp::kP2L,
+                             lists.p2l_offset[id + 1] - lists.p2l_offset[id]);
+      for (std::uint32_t e = lists.p2l_offset[id];
+           e < lists.p2l_offset[id + 1]; ++e) {
+        const OctreeNode& sn = tree.node(lists.p2l_sources[e]);
+        for (int r = 0; r < nrhs; ++r)
+          ctx_.p2l(n.center, pos.data() + sn.begin,
+                   charges[r].data() + sn.begin, static_cast<int>(sn.count),
+                   lcoef(id, r));
+      }
+    }
+    if (n.parent >= 0) {
+      OpTimers::Scoped timer(timers, FmmOp::kL2L);
+      for (int r = 0; r < nrhs; ++r)
+        ctx_.l2l(tree.node(n.parent).center, n.center, lcoef(n.parent, r),
+                 lcoef(id, r));
+    }
+    if (tree.is_effective_leaf(id)) {
+      {
+        OpTimers::Scoped timer(timers, FmmOp::kL2P, n.count);
+        for (std::uint32_t b = n.begin; b < n.begin + n.count; ++b)
+          for (int r = 0; r < nrhs; ++r)
+            out[r][b] = ctx_.l2p(n.center, lcoef(id, r), pos[b]);
+      }
+      // Extension: evaluate well-separated source multipoles directly at
+      // this tiny leaf's bodies (M2P).
+      if (!lists.m2p_offset.empty() &&
+          lists.m2p_offset[id + 1] > lists.m2p_offset[id]) {
+        OpTimers::Scoped timer(timers, FmmOp::kM2P,
+                               lists.m2p_offset[id + 1] - lists.m2p_offset[id]);
+        for (std::uint32_t e = lists.m2p_offset[id];
+             e < lists.m2p_offset[id + 1]; ++e) {
+          const int src = lists.m2p_sources[e];
+          const Vec3 sc = tree.node(src).center;
+          for (std::uint32_t b = n.begin; b < n.begin + n.count; ++b)
+            for (int r = 0; r < nrhs; ++r) {
+              const auto v = ctx_.m2p(sc, mcoef(src, r), pos[b]);
+              out[r][b].potential += v.potential;
+              out[r][b].gradient += v.gradient;
+            }
+        }
+      }
+      return;
+    }
+    for (int c : n.children) {
+      const bool spawn = tree.node(c).count > kTaskCutoff;
+      if (spawn) {
+#pragma omp task firstprivate(c)
+        self(self, c);
+      } else {
+        self(self, c);
+      }
+    }
+#pragma omp taskwait
+  };
+
+  if (tree.empty()) return;
+#pragma omp parallel
+#pragma omp single
+  {
+    upsweep(upsweep, tree.root());
+    downsweep(downsweep, tree.root());
+  }
+}
+
+SolveStats make_stats(const AdaptiveOctree& tree,
+                      const InteractionLists& lists) {
+  SolveStats s;
+  s.nodes = tree.num_nodes();
+  s.effective_leaves = static_cast<int>(tree.effective_leaves().size());
+  s.depth = tree.effective_depth();
+  s.m2l_pairs = lists.total_m2l_pairs;
+  s.p2p_interactions = lists.total_p2p_interactions;
+  return s;
+}
+
+GravitySolver::GravitySolver(const FmmConfig& config, NodeSimulator node,
+                             GravityKernel kernel)
+    : far_(config), node_(std::move(node)), kernel_(kernel) {}
+
+GravityResult GravitySolver::solve(const AdaptiveOctree& tree,
+                                   std::span<const Vec3> positions,
+                                   std::span<const double> charges) const {
+  if (positions.size() != charges.size() ||
+      positions.size() != tree.num_bodies())
+    throw std::invalid_argument("GravitySolver::solve: size mismatch");
+
+  const auto lists = build_interaction_lists(tree, far_.config().traversal);
+
+  std::vector<double> q_tree;
+  tree.gather(charges, q_tree);
+
+  std::vector<std::vector<double>> rhs{q_tree};
+  std::vector<std::vector<PointValue>> far_out;
+  std::shared_ptr<OpTimers> timers;
+  if (far_.config().collect_real_timings) timers = std::make_shared<OpTimers>();
+  far_.evaluate(tree, lists, rhs, far_out, timers.get());
+
+  const auto pos = tree.sorted_positions();
+  const std::size_t n = tree.num_bodies();
+  std::vector<GravitySource> sources(n);
+  for (std::size_t i = 0; i < n; ++i) sources[i] = {pos[i], q_tree[i]};
+  std::vector<GravityAccum> near(n);
+
+  GravityResult res;
+  res.gpu = run_p2p(tree, lists.p2p, kernel_, std::span<const GravitySource>(sources),
+                    tree.perm(), node_.gpus(), std::span<GravityAccum>(near));
+
+  res.potential.assign(n, 0.0);
+  res.gradient.assign(n, Vec3{});
+  const auto perm = tree.perm();
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto o = perm[t];
+    res.potential[o] = far_out[0][t].potential + near[t].pot;
+    res.gradient[o] = far_out[0][t].gradient + near[t].grad;
+  }
+
+  res.times = node_.simulate_far_field(far_.context(), tree, lists, 1);
+  res.times.gpu_seconds = res.gpu.max_kernel_seconds;
+  res.stats = make_stats(tree, lists);
+  res.real_timings = std::move(timers);
+  return res;
+}
+
+StokesletSolver::StokesletSolver(const FmmConfig& config, NodeSimulator node,
+                                 double epsilon)
+    : far_(config), node_(std::move(node)), kernel_(epsilon) {}
+
+StokesletResult StokesletSolver::solve(const AdaptiveOctree& tree,
+                                       std::span<const Vec3> positions,
+                                       std::span<const Vec3> forces) const {
+  if (positions.size() != forces.size() ||
+      positions.size() != tree.num_bodies())
+    throw std::invalid_argument("StokesletSolver::solve: size mismatch");
+
+  const auto lists = build_interaction_lists(tree, far_.config().traversal);
+  const auto pos = tree.sorted_positions();
+  const auto perm = tree.perm();
+  const std::size_t n = tree.num_bodies();
+
+  // Four harmonic right-hand sides: f_x, f_y, f_z and the moment y.f.
+  std::vector<std::vector<double>> rhs(4, std::vector<double>(n));
+  for (std::size_t t = 0; t < n; ++t) {
+    const Vec3 f = forces[perm[t]];
+    rhs[0][t] = f.x;
+    rhs[1][t] = f.y;
+    rhs[2][t] = f.z;
+    rhs[3][t] = dot(pos[t], f);
+  }
+
+  std::vector<std::vector<PointValue>> far_out;
+  std::shared_ptr<OpTimers> timers;
+  if (far_.config().collect_real_timings) timers = std::make_shared<OpTimers>();
+  far_.evaluate(tree, lists, rhs, far_out, timers.get());
+
+  std::vector<StokesletSource> sources(n);
+  for (std::size_t t = 0; t < n; ++t) sources[t] = {pos[t], forces[perm[t]]};
+  std::vector<StokesletAccum> near(n);
+
+  StokesletResult res;
+  res.gpu = run_p2p(tree, lists.p2p, kernel_,
+                    std::span<const StokesletSource>(sources), perm,
+                    node_.gpus(), std::span<StokesletAccum>(near));
+
+  res.velocity.assign(n, Vec3{});
+  for (std::size_t t = 0; t < n; ++t) {
+    const double phi[3] = {far_out[0][t].potential, far_out[1][t].potential,
+                           far_out[2][t].potential};
+    const Vec3 grad_phi[3] = {far_out[0][t].gradient, far_out[1][t].gradient,
+                              far_out[2][t].gradient};
+    const Vec3 u_far =
+        combine_harmonic_passes(pos[t], phi, grad_phi, far_out[3][t].gradient);
+    res.velocity[perm[t]] = u_far + near[t].u;
+  }
+
+  res.times = node_.simulate_far_field(far_.context(), tree, lists, 4);
+  res.times.gpu_seconds = res.gpu.max_kernel_seconds;
+  res.stats = make_stats(tree, lists);
+  res.real_timings = std::move(timers);
+  return res;
+}
+
+}  // namespace afmm

@@ -1,0 +1,133 @@
+// The adaptive FMM solvers.
+//
+// HarmonicFarField is the expansion engine: given a tree and one or more
+// scalar charge vectors ("right-hand sides"), it runs P2M -> M2M -> (M2L,
+// L2L) -> L2P with OpenMP tasks spawned per child and a taskwait at each
+// parent -- exactly the recursive pattern of the paper's Section III.B --
+// and returns potential + gradient per body for each rhs.
+//
+// GravitySolver   : 1 rhs (masses); acceleration = G * gradient.
+// StokesletSolver : 4 rhs (f_x, f_y, f_z, y.f); velocities assembled via the
+//                   harmonic identity in kernels/stokeslet.hpp. This is the
+//                   paper's fluid problem with ~4x the M2L cost.
+//
+// Near-field work is dispatched to the simulated GPU system; the returned
+// ObservedStepTimes carry the virtual CPU/GPU times of the machine model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "expansion/operators.hpp"
+#include "gpusim/p2p_executor.hpp"
+#include "kernels/gravity.hpp"
+#include "kernels/stokeslet.hpp"
+#include "machine/machine.hpp"
+#include "octree/octree.hpp"
+#include "octree/traversal.hpp"
+#include "util/op_timers.hpp"
+
+namespace afmm {
+
+struct FmmConfig {
+  int order = 5;  // Taylor expansion order p ("retained terms")
+  TraversalConfig traversal;
+  // Collect REAL wall-clock per-operation times (paper Section IV.D's
+  // per-thread measurement) into the result's `real_timings`. Off by
+  // default: ~2 clock reads per node-level operation.
+  bool collect_real_timings = false;
+};
+
+// Structural statistics of one solve, for benches and logs.
+struct SolveStats {
+  int nodes = 0;
+  int effective_leaves = 0;
+  int depth = 0;
+  std::uint64_t m2l_pairs = 0;
+  std::uint64_t p2p_interactions = 0;
+};
+
+class HarmonicFarField {
+ public:
+  explicit HarmonicFarField(const FmmConfig& config);
+
+  const ExpansionContext& context() const { return ctx_; }
+  const FmmConfig& config() const { return config_; }
+
+  // charges[rhs][tree-ordered body]; out[rhs][tree-ordered body].
+  // All rhs share the traversal and the M2L derivative tensors.
+  // When `timers` is non-null, real per-thread operation times accumulate
+  // into it (counts are per application, P2M/L2P per covered body).
+  void evaluate(const AdaptiveOctree& tree, const InteractionLists& lists,
+                std::span<const std::vector<double>> charges,
+                std::vector<std::vector<PointValue>>& out,
+                OpTimers* timers = nullptr) const;
+
+ private:
+  FmmConfig config_;
+  ExpansionContext ctx_;
+};
+
+struct GravityResult {
+  std::vector<double> potential;  // phi = sum q/r, original body order
+  std::vector<Vec3> gradient;     // grad phi; acceleration = G * gradient
+  ObservedStepTimes times;
+  GpuRunResult gpu;
+  SolveStats stats;
+  // Real wall-clock per-op times (populated when collect_real_timings).
+  std::shared_ptr<OpTimers> real_timings;
+};
+
+class GravitySolver {
+ public:
+  GravitySolver(const FmmConfig& config, NodeSimulator node,
+                GravityKernel kernel = GravityKernel{});
+
+  // Solve on a prepared tree. `positions` / `charges` are in ORIGINAL body
+  // order; the tree must have been built (or rebinned) from `positions`.
+  GravityResult solve(const AdaptiveOctree& tree,
+                      std::span<const Vec3> positions,
+                      std::span<const double> charges) const;
+
+  const HarmonicFarField& far_field() const { return far_; }
+  NodeSimulator& node() { return node_; }
+  const NodeSimulator& node() const { return node_; }
+  const GravityKernel& kernel() const { return kernel_; }
+
+ private:
+  HarmonicFarField far_;
+  NodeSimulator node_;
+  GravityKernel kernel_;
+};
+
+struct StokesletResult {
+  std::vector<Vec3> velocity;  // original body order, before 1/(8 pi mu)
+  ObservedStepTimes times;
+  GpuRunResult gpu;
+  SolveStats stats;
+  std::shared_ptr<OpTimers> real_timings;
+};
+
+class StokesletSolver {
+ public:
+  StokesletSolver(const FmmConfig& config, NodeSimulator node, double epsilon);
+
+  StokesletResult solve(const AdaptiveOctree& tree,
+                        std::span<const Vec3> positions,
+                        std::span<const Vec3> forces) const;
+
+  const HarmonicFarField& far_field() const { return far_; }
+  NodeSimulator& node() { return node_; }
+
+ private:
+  HarmonicFarField far_;
+  NodeSimulator node_;
+  StokesletKernel kernel_;
+};
+
+SolveStats make_stats(const AdaptiveOctree& tree,
+                      const InteractionLists& lists);
+
+}  // namespace afmm

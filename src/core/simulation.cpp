@@ -1,0 +1,85 @@
+#include "core/simulation.hpp"
+
+namespace afmm {
+
+GravitySimulation::GravitySimulation(const SimulationConfig& config,
+                                     NodeSimulator node, ParticleSet bodies)
+    : config_(config),
+      solver_(config.fmm, std::move(node), GravityKernel(config.softening)),
+      balancer_(config.balancer, config.fmm.traversal),
+      bodies_(std::move(bodies)) {
+  TreeConfig tc = config_.tree;
+  tc.leaf_capacity = config_.balancer.initial_S;
+  tree_.build(bodies_.positions, tc);
+  initial_solve();
+}
+
+void GravitySimulation::initial_solve() {
+  auto res = solver_.solve(tree_, bodies_.positions, bodies_.masses);
+  accel_.resize(bodies_.size());
+  for (std::size_t i = 0; i < bodies_.size(); ++i)
+    accel_[i] = config_.grav_const * res.gradient[i];
+  potential_ = std::move(res.potential);
+  last_observed_ = res.times;
+}
+
+StepRecord GravitySimulation::step() {
+  StepRecord rec;
+  rec.step = step_count_;
+
+  const double dt = config_.dt;
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    bodies_.velocities[i] += 0.5 * dt * accel_[i];
+    bodies_.positions[i] += dt * bodies_.velocities[i];
+  }
+
+  // Maintenance: bodies moved, so re-bin them into the current structure;
+  // the balancer may then rebuild / enforce / fine-tune.
+  tree_.rebin(bodies_.positions);
+  rec.lb_seconds += solver_.node().rebin_seconds(bodies_.size());
+
+  const auto lb = balancer_.post_step(tree_, bodies_.positions,
+                                      *last_observed_, solver_.node());
+  rec.lb_seconds += lb.lb_seconds;
+  rec.S = lb.S;
+  rec.state = lb.state_after;
+  rec.rebuilt = lb.rebuilt;
+  rec.enforce_ops = lb.enforce_ops;
+  rec.fgo_ops = lb.fgo_ops;
+
+  auto res = solver_.solve(tree_, bodies_.positions, bodies_.masses);
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    accel_[i] = config_.grav_const * res.gradient[i];
+    bodies_.velocities[i] += 0.5 * dt * accel_[i];
+  }
+  potential_ = std::move(res.potential);
+  last_observed_ = res.times;
+
+  rec.compute_seconds = res.times.compute_seconds();
+  rec.cpu_seconds = res.times.cpu_seconds;
+  rec.gpu_seconds = res.times.gpu_seconds;
+  rec.stats = res.stats;
+
+  ++step_count_;
+  return rec;
+}
+
+std::vector<StepRecord> GravitySimulation::run(int n) {
+  std::vector<StepRecord> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(step());
+  return out;
+}
+
+double GravitySimulation::total_energy() const {
+  double kinetic = 0.0;
+  double potential = 0.0;
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    kinetic += 0.5 * bodies_.masses[i] * norm2(bodies_.velocities[i]);
+    potential -=
+        0.5 * config_.grav_const * bodies_.masses[i] * potential_[i];
+  }
+  return kinetic + potential;
+}
+
+}  // namespace afmm

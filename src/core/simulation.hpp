@@ -1,0 +1,83 @@
+// Time-dependent gravitational simulation driving the AFMM + load balancer.
+//
+// Integration is kick-drift-kick leapfrog. Each step:
+//
+//   1. kick (half) + drift using the acceleration of the previous solve
+//   2. rebin the moved bodies into the existing tree structure
+//   3. hand the previous step's observed times to the load balancer, which
+//      may rebuild the tree with a new S, Enforce_S it, or fine-tune it
+//   4. solve the AFMM on the (possibly modified) tree
+//   5. kick (half)
+//
+// Per-step records carry everything Figs. 8/9 and Table II report: compute
+// time, load-balancing time, the S in force, and the balancer state.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "balance/load_balancer.hpp"
+#include "core/fmm_solver.hpp"
+#include "dist/distributions.hpp"
+
+namespace afmm {
+
+struct SimulationConfig {
+  FmmConfig fmm;
+  TreeConfig tree;               // leaf_capacity is overridden by the balancer
+  LoadBalancerConfig balancer;
+  double dt = 1e-3;
+  double grav_const = 1.0;
+  double softening = 1e-3;
+};
+
+struct StepRecord {
+  int step = 0;
+  double compute_seconds = 0.0;  // max(CPU, GPU), the paper's Compute Time
+  double cpu_seconds = 0.0;
+  double gpu_seconds = 0.0;
+  double lb_seconds = 0.0;       // balancing + maintenance cost this step
+  double total_seconds() const { return compute_seconds + lb_seconds; }
+  int S = 0;
+  LbState state = LbState::kSearch;
+  bool rebuilt = false;
+  int enforce_ops = 0;
+  int fgo_ops = 0;
+  SolveStats stats;
+};
+
+class GravitySimulation {
+ public:
+  GravitySimulation(const SimulationConfig& config, NodeSimulator node,
+                    ParticleSet bodies);
+
+  // Advance one time step; returns its record.
+  StepRecord step();
+
+  // Run `n` steps, collecting records.
+  std::vector<StepRecord> run(int n);
+
+  const ParticleSet& bodies() const { return bodies_; }
+  const AdaptiveOctree& tree() const { return tree_; }
+  const LoadBalancer& balancer() const { return balancer_; }
+  int steps_taken() const { return step_count_; }
+
+  // Total energy (kinetic + potential) from the last solve; a diagnostic
+  // for the integrator tests. Uses the softened potential.
+  double total_energy() const;
+
+ private:
+  void initial_solve();
+
+  SimulationConfig config_;
+  GravitySolver solver_;
+  LoadBalancer balancer_;
+  ParticleSet bodies_;
+  AdaptiveOctree tree_;
+  std::vector<Vec3> accel_;
+  std::vector<double> potential_;
+  std::optional<ObservedStepTimes> last_observed_;
+  int step_count_ = 0;
+};
+
+}  // namespace afmm

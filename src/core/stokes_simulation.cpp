@@ -1,0 +1,75 @@
+#include "core/stokes_simulation.hpp"
+
+#include <cmath>
+
+namespace afmm {
+
+ForceModel constant_force(const Vec3& f) {
+  return [f](std::span<const Vec3> positions, std::span<Vec3> forces) {
+    (void)positions;
+    for (auto& out : forces) out = f;
+  };
+}
+
+StokesSimulation::StokesSimulation(const StokesSimulationConfig& config,
+                                   NodeSimulator node,
+                                   std::vector<Vec3> positions,
+                                   ForceModel force_model)
+    : config_(config),
+      solver_(config.fmm, std::move(node), config.epsilon),
+      balancer_(config.balancer, config.fmm.traversal),
+      force_model_(std::move(force_model)),
+      positions_(std::move(positions)),
+      velocities_(positions_.size()),
+      forces_(positions_.size()) {
+  TreeConfig tc = config_.tree;
+  tc.leaf_capacity = config_.balancer.initial_S;
+  tree_.build(positions_, tc);
+}
+
+StepRecord StokesSimulation::step() {
+  StepRecord rec;
+  rec.step = step_count_;
+
+  if (last_observed_) {
+    // Maintenance + balancing exactly as in the gravitational loop.
+    tree_.rebin(positions_);
+    rec.lb_seconds += solver_.node().rebin_seconds(positions_.size());
+    const auto lb = balancer_.post_step(tree_, positions_, *last_observed_,
+                                        solver_.node());
+    rec.lb_seconds += lb.lb_seconds;
+    rec.S = lb.S;
+    rec.state = lb.state_after;
+    rec.rebuilt = lb.rebuilt;
+    rec.enforce_ops = lb.enforce_ops;
+    rec.fgo_ops = lb.fgo_ops;
+  } else {
+    rec.S = balancer_.current_S();
+  }
+
+  force_model_(positions_, forces_);
+  auto res = solver_.solve(tree_, positions_, forces_);
+
+  const double mobility = 1.0 / (8.0 * M_PI * config_.viscosity);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    velocities_[i] = mobility * res.velocity[i];
+    positions_[i] += config_.dt * velocities_[i];
+  }
+
+  last_observed_ = res.times;
+  rec.compute_seconds = res.times.compute_seconds();
+  rec.cpu_seconds = res.times.cpu_seconds;
+  rec.gpu_seconds = res.times.gpu_seconds;
+  rec.stats = res.stats;
+  ++step_count_;
+  return rec;
+}
+
+std::vector<StepRecord> StokesSimulation::run(int n) {
+  std::vector<StepRecord> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(step());
+  return out;
+}
+
+}  // namespace afmm

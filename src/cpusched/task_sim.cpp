@@ -1,0 +1,88 @@
+#include "cpusched/task_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace afmm {
+
+int TaskGraphSim::add_task(double seconds) {
+  duration_.push_back(seconds);
+  out_edges_.emplace_back();
+  in_degree_.push_back(0);
+  return static_cast<int>(duration_.size()) - 1;
+}
+
+void TaskGraphSim::add_dependency(int before, int after) {
+  out_edges_[before].push_back(after);
+  ++in_degree_[after];
+}
+
+double TaskGraphSim::total_work() const {
+  double sum = 0.0;
+  for (double d : duration_) sum += d;
+  return sum;
+}
+
+double TaskGraphSim::critical_path(double overhead) const {
+  // Kahn order; dist[t] = longest finishing time ending at t.
+  std::vector<int> indeg = in_degree_;
+  std::vector<double> dist(duration_.size(), 0.0);
+  std::queue<int> q;
+  for (int t = 0; t < num_tasks(); ++t)
+    if (indeg[t] == 0) q.push(t);
+  double best = 0.0;
+  int seen = 0;
+  while (!q.empty()) {
+    const int t = q.front();
+    q.pop();
+    ++seen;
+    dist[t] += duration_[t] + overhead;
+    best = std::max(best, dist[t]);
+    for (int nxt : out_edges_[t]) {
+      dist[nxt] = std::max(dist[nxt], dist[t]);
+      if (--indeg[nxt] == 0) q.push(nxt);
+    }
+  }
+  if (seen != num_tasks())
+    throw std::logic_error("TaskGraphSim: dependency cycle");
+  return best;
+}
+
+double TaskGraphSim::makespan(int workers, double overhead) const {
+  if (workers < 1) throw std::invalid_argument("makespan: workers < 1");
+  std::vector<int> indeg = in_degree_;
+  std::queue<int> ready;
+  for (int t = 0; t < num_tasks(); ++t)
+    if (indeg[t] == 0) ready.push(t);
+
+  // Min-heap of (finish time, task id) for running tasks.
+  using Event = std::pair<double, int>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+  double now = 0.0;
+  double end = 0.0;
+  int idle = workers;
+  int done = 0;
+
+  while (done < num_tasks()) {
+    while (idle > 0 && !ready.empty()) {
+      const int t = ready.front();
+      ready.pop();
+      --idle;
+      running.emplace(now + duration_[t] + overhead, t);
+    }
+    if (running.empty())
+      throw std::logic_error("TaskGraphSim: deadlock (cycle or bad graph)");
+    const auto [finish, t] = running.top();
+    running.pop();
+    now = finish;
+    end = std::max(end, finish);
+    ++idle;
+    ++done;
+    for (int nxt : out_edges_[t])
+      if (--indeg[nxt] == 0) ready.push(nxt);
+  }
+  return end;
+}
+
+}  // namespace afmm

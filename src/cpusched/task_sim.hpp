@@ -1,0 +1,44 @@
+// Work-conserving makespan simulator for OpenMP-style task DAGs.
+//
+// The paper parallelizes every tree phase with "#pragma omp task" per child
+// and a taskwait at the parent (Section III.B). The numeric phases of this
+// library execute with real OpenMP tasks; this simulator replays the same
+// task graph on P *virtual* cores to obtain the CPU Time a P-core machine
+// would observe -- the quantity the load balancer needs and the quantity
+// Fig. 6 reports. A greedy list scheduler is an accurate stand-in for an
+// OpenMP work-stealing runtime at this granularity (Brent's bound is tight
+// for these wide, shallow tree DAGs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace afmm {
+
+class TaskGraphSim {
+ public:
+  // Adds a task with the given execution time; returns its id.
+  int add_task(double seconds);
+
+  // `before` must finish before `after` may start.
+  void add_dependency(int before, int after);
+
+  int num_tasks() const { return static_cast<int>(duration_.size()); }
+  double total_work() const;  // sum of task durations
+
+  // Longest chain through the DAG (critical path), including per-task
+  // overhead; the P -> infinity limit of the makespan.
+  double critical_path(double per_task_overhead_seconds = 0.0) const;
+
+  // Greedy list-scheduled makespan on `workers` cores. Ready tasks are
+  // dispatched FIFO; each task pays `per_task_overhead_seconds` extra
+  // (task creation + scheduling cost).
+  double makespan(int workers, double per_task_overhead_seconds = 0.0) const;
+
+ private:
+  std::vector<double> duration_;
+  std::vector<std::vector<int>> out_edges_;
+  std::vector<int> in_degree_;
+};
+
+}  // namespace afmm

@@ -1,0 +1,109 @@
+#include "dist/distributions.hpp"
+
+#include <cmath>
+
+namespace afmm {
+
+namespace {
+Vec3 random_direction(Rng& rng) {
+  // Marsaglia: uniform on the unit sphere.
+  const double z = rng.uniform(-1.0, 1.0);
+  const double phi = rng.uniform(0.0, 6.283185307179586);
+  const double s = std::sqrt(1.0 - z * z);
+  return {s * std::cos(phi), s * std::sin(phi), z};
+}
+}  // namespace
+
+ParticleSet plummer(std::size_t n, Rng& rng, const PlummerOptions& opt) {
+  ParticleSet out;
+  out.positions.reserve(n);
+  out.velocities.reserve(n);
+  out.masses.assign(n, opt.total_mass / static_cast<double>(n));
+
+  const double a = opt.scale_radius;
+  // Velocity unit: sqrt(G M / a).
+  const double vunit = std::sqrt(opt.grav_const * opt.total_mass / a);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Radius from the inverse CDF of the Plummer mass profile, with the
+    // far tail clipped at max_radius.
+    double r;
+    do {
+      const double u = rng.uniform();
+      r = a / std::sqrt(std::pow(std::max(u, 1e-12), -2.0 / 3.0) - 1.0);
+    } while (r > opt.max_radius * a);
+    out.positions.push_back(opt.center + r * random_direction(rng));
+
+    // Speed fraction q of the local escape speed, with density q^2 (1 -
+    // q^2)^(7/2) (Aarseth, Henon & Wielen 1974 rejection sampling).
+    double q = 0.0;
+    double g;
+    do {
+      q = rng.uniform();
+      g = rng.uniform(0.0, 0.1);
+    } while (g > q * q * std::pow(1.0 - q * q, 3.5));
+    const double vesc =
+        std::sqrt(2.0) * std::pow(1.0 + (r / a) * (r / a), -0.25);
+    out.velocities.push_back(opt.bulk_velocity + opt.velocity_scale * q *
+                                                     vesc * vunit *
+                                                     random_direction(rng));
+  }
+  return out;
+}
+
+ParticleSet uniform_cube(std::size_t n, Rng& rng, const Vec3& center,
+                         double half) {
+  ParticleSet out;
+  out.positions.reserve(n);
+  out.velocities.assign(n, Vec3{});
+  out.masses.assign(n, 1.0 / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i)
+    out.positions.push_back(center + Vec3{rng.uniform(-half, half),
+                                          rng.uniform(-half, half),
+                                          rng.uniform(-half, half)});
+  return out;
+}
+
+ParticleSet two_cluster_collision(std::size_t n, Rng& rng, double separation,
+                                  double approach_speed,
+                                  const PlummerOptions& opt) {
+  PlummerOptions left = opt;
+  left.center = opt.center - Vec3{separation / 2, 0, 0};
+  left.bulk_velocity = opt.bulk_velocity + Vec3{approach_speed / 2, 0, 0};
+  left.total_mass = opt.total_mass / 2;
+  PlummerOptions right = opt;
+  right.center = opt.center + Vec3{separation / 2, 0, 0};
+  right.bulk_velocity = opt.bulk_velocity - Vec3{approach_speed / 2, 0, 0};
+  right.total_mass = opt.total_mass / 2;
+
+  ParticleSet a = plummer(n / 2, rng, left);
+  ParticleSet b = plummer(n - n / 2, rng, right);
+  a.positions.insert(a.positions.end(), b.positions.begin(),
+                     b.positions.end());
+  a.velocities.insert(a.velocities.end(), b.velocities.begin(),
+                      b.velocities.end());
+  a.masses.insert(a.masses.end(), b.masses.begin(), b.masses.end());
+  return a;
+}
+
+std::vector<Vec3> helical_fiber(std::size_t n, double radius, double pitch,
+                                double turns, std::vector<Vec3>& forces) {
+  std::vector<Vec3> pos;
+  pos.reserve(n);
+  forces.clear();
+  forces.reserve(n);
+  const double total_angle = turns * 6.283185307179586;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        total_angle * static_cast<double>(i) / static_cast<double>(n - 1);
+    pos.push_back({radius * std::cos(t), radius * std::sin(t),
+                   pitch * t / 6.283185307179586});
+    // Unit tangent (normalized derivative) as the force direction.
+    Vec3 tangent{-radius * std::sin(t), radius * std::cos(t),
+                 pitch / 6.283185307179586};
+    forces.push_back(tangent / norm(tangent));
+  }
+  return pos;
+}
+
+}  // namespace afmm

@@ -1,0 +1,54 @@
+// Body distributions used by the paper's experiments.
+//
+//   * Plummer sphere (the paper's gravitational test problem, Figs. 6-9):
+//     standard Aarseth sampling of positions and virial velocities.
+//   * Uniform cube (Figs. 4 and 10).
+//   * Two-cluster "colliding galaxies" scenario (the introduction's
+//     motivating example; used by examples/galaxy_collision).
+//   * Helical filament for the regularized-Stokeslet fluid problem
+//     (immersed flexible boundary, [Cortez et al. 2005]).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace afmm {
+
+struct ParticleSet {
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+  std::vector<double> masses;
+  std::size_t size() const { return positions.size(); }
+};
+
+struct PlummerOptions {
+  double scale_radius = 1.0;   // Plummer parameter a
+  double total_mass = 1.0;
+  double grav_const = 1.0;     // G used for the virial velocity scaling
+  double velocity_scale = 1.0; // 1 = virial equilibrium, < 1 = cold collapse
+  double max_radius = 10.0;    // rejection bound, in units of a
+  Vec3 center{0, 0, 0};
+  Vec3 bulk_velocity{0, 0, 0};
+};
+
+ParticleSet plummer(std::size_t n, Rng& rng, const PlummerOptions& opt = {});
+
+// Uniform density inside the cube center +- half (zero velocities, unit
+// total mass).
+ParticleSet uniform_cube(std::size_t n, Rng& rng, const Vec3& center,
+                         double half);
+
+// Two Plummer spheres of n/2 bodies each on a collision course along x.
+ParticleSet two_cluster_collision(std::size_t n, Rng& rng, double separation,
+                                  double approach_speed,
+                                  const PlummerOptions& opt = {});
+
+// Points along a helical fiber (radius r, pitch, turns) with tangential unit
+// forces -- a flexible-swimmer stand-in for the Stokeslet problem. Returns
+// positions; forces are written to `forces`.
+std::vector<Vec3> helical_fiber(std::size_t n, double radius, double pitch,
+                                double turns, std::vector<Vec3>& forces);
+
+}  // namespace afmm

@@ -1,0 +1,127 @@
+// The six FMM translation/evaluation operators on Cartesian Taylor
+// expansions, plus the optional M2P / P2L operators used as an extension.
+//
+// Conventions (see DESIGN.md):
+//   * Multipole coefficients about a center c:
+//       M_alpha = sum_i q_i (x_i - c)^alpha / alpha!
+//   * The far potential of those sources:
+//       Phi(x) = sum_alpha (-1)^|alpha| M_alpha D^alpha G(x - c),  G = 1/|r|
+//   * Local coefficients about c are raw Taylor derivatives of the far field:
+//       L_beta = D^beta Phi(c),  so  Phi(x) = sum_beta L_beta (x-c)^beta/beta!
+//
+// All operators ADD into their destination expansion. An ExpansionContext is
+// immutable after construction and safe to share across threads.
+#pragma once
+
+#include <vector>
+
+#include "expansion/laplace_derivs.hpp"
+#include "expansion/multi_index.hpp"
+#include "util/vec3.hpp"
+
+namespace afmm {
+
+// Potential and gradient of the far-field at one evaluation point.
+struct PointValue {
+  double potential = 0.0;
+  Vec3 gradient;
+};
+
+class ExpansionContext {
+ public:
+  explicit ExpansionContext(int order);
+
+  int order() const { return p_; }
+  // Number of coefficients per expansion (multipole and local alike).
+  int ncoef() const { return set_p_.size(); }
+
+  const MultiIndexSet& index_set() const { return set_p_; }
+  const MultiIndexSet& derivative_set() const { return set_q_; }
+
+  // --- particle <-> expansion -------------------------------------------
+
+  // M[a] += sum_i q_i (x_i - center)^a / a!
+  void p2m(const Vec3& center, const Vec3* pos, const double* charge,
+           int count, double* M) const;
+
+  // L_b += sum_i q_i D^b G(center - x_i)      (extension operator)
+  void p2l(const Vec3& center, const Vec3* pos, const double* charge,
+           int count, double* L) const;
+
+  // Evaluate the local expansion (and its gradient) at x.
+  PointValue l2p(const Vec3& center, const double* L, const Vec3& x) const;
+
+  // Evaluate a multipole expansion directly at a distant point (extension).
+  PointValue m2p(const Vec3& center, const double* M, const Vec3& x) const;
+
+  // --- expansion <-> expansion ------------------------------------------
+
+  // Shift child multipole (about `from`) into parent multipole (about `to`).
+  void m2m(const Vec3& from, const Vec3& to, const double* Mchild,
+           double* Mparent) const;
+
+  // Convert a multipole about `src` into a local about `dst`.
+  void m2l(const Vec3& src, const Vec3& dst, const double* M, double* L) const;
+
+  // Multi-rhs M2L sharing one derivative-tensor evaluation: applies the
+  // conversion to `nrhs` expansions laid out with the given stride (in
+  // doubles) between consecutive rhs.
+  void m2l_multi(const Vec3& src, const Vec3& dst, const double* M, double* L,
+                 int nrhs, int stride) const;
+
+  // Shift parent local (about `from`) into child local (about `to`).
+  void l2l(const Vec3& from, const Vec3& to, const double* Lparent,
+           double* Lchild) const;
+
+  // --- cost model hooks ----------------------------------------------------
+  // Floating point work per single application, used by machine/ to assign
+  // task durations. These count the structural multiply-adds of each
+  // operator, which is exactly the "predictable cost in FLOPS" property the
+  // paper's Section I.C relies on.
+  double flops_p2m_per_body() const { return 2.0 * ncoef(); }
+  double flops_l2p_per_body() const { return 8.0 * ncoef(); }
+  double flops_m2m() const { return 2.0 * static_cast<double>(triples_.size()); }
+  double flops_l2l() const { return flops_m2m(); }
+  double flops_m2l() const {
+    // Derivative tensor build + the dense (alpha, beta) contraction.
+    return 4.0 * set_q_.size() * (set_q_.max_order() + 1) / 2.0 +
+           2.0 * static_cast<double>(m2l_pairs_.size());
+  }
+  double flops_deriv_tensor() const {
+    return 4.0 * set_q_.size() * (set_q_.max_order() + 1) / 2.0;
+  }
+  // Extension operators: both pay a derivative-tensor evaluation per body.
+  double flops_m2p_per_body() const {
+    return flops_deriv_tensor() + 8.0 * ncoef();
+  }
+  double flops_p2l_per_body() const {
+    return flops_deriv_tensor() + 2.0 * ncoef();
+  }
+
+ private:
+  int p_;
+  MultiIndexSet set_p_;  // expansion indices, order p
+  MultiIndexSet set_q_;  // derivative indices, order 2p (covers M2L and M2P)
+  LaplaceDerivatives derivs_;
+
+  // (hi, lo, shift) with lo <= hi componentwise, shift = hi - lo.
+  struct Triple {
+    int hi;
+    int lo;
+    int shift;
+  };
+  std::vector<Triple> triples_;
+
+  // M2L contraction entries: L[beta] += sign_alpha * M[alpha] * T[alpha+beta].
+  struct M2LPair {
+    int beta;
+    int alpha;
+    int sum;  // index of alpha + beta in set_q_
+  };
+  std::vector<M2LPair> m2l_pairs_;
+  std::vector<double> sign_;        // (-1)^|alpha| over set_p_
+  std::vector<int> lift_;           // set_p_ index -> set_q_ index (same alpha)
+  std::vector<int> lift_add_[3];    // set_p_ alpha -> set_q_ index of alpha+e_d
+};
+
+}  // namespace afmm

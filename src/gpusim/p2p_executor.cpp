@@ -1,0 +1,20 @@
+#include "gpusim/p2p_executor.hpp"
+
+namespace afmm {
+
+std::vector<GpuWorkShape> collect_shapes(const AdaptiveOctree& tree,
+                                         const std::vector<P2PWork>& work,
+                                         const std::vector<int>& assigned) {
+  std::vector<GpuWorkShape> shapes;
+  shapes.reserve(assigned.size());
+  for (int wi : assigned) {
+    const P2PWork& w = work[wi];
+    GpuWorkShape s;
+    s.targets = tree.node(w.target).count;
+    for (int src : w.sources) s.sources += tree.node(src).count;
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+}  // namespace afmm

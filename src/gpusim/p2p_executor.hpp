@@ -1,0 +1,109 @@
+// Executes the near-field (P2P) phase on the simulated multi-GPU system.
+//
+// Numerics: each work item is processed exactly as the paper's CUDA kernel
+// would -- every target body accumulates its sources in concatenated
+// source-list order (the lock-step tile march visits sources in that order
+// for every lane), so results are deterministic and association-order
+// faithful to the device kernel.
+//
+// Timing: each device's share is expanded into block shapes and passed to
+// simulate_kernel(); the reported GPU Time is the maximum kernel time over
+// all devices, matching the paper's cudaEvent-based definition (Section
+// VII.A).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/gpu_model.hpp"
+#include "gpusim/partition.hpp"
+#include "gpusim/transfer.hpp"
+#include "octree/octree.hpp"
+#include "octree/traversal.hpp"
+
+namespace afmm {
+
+struct GpuSystemConfig {
+  std::vector<GpuDeviceConfig> devices{GpuDeviceConfig{}};
+  PartitionScheme partition = PartitionScheme::kInteractionWalk;
+  TransferLinkConfig link;  // per-GPU PCIe-like link (Section III.D)
+
+  static GpuSystemConfig uniform(int num_gpus,
+                                 const GpuDeviceConfig& dev = {}) {
+    GpuSystemConfig cfg;
+    cfg.devices.assign(static_cast<std::size_t>(num_gpus), dev);
+    return cfg;
+  }
+};
+
+struct GpuRunResult {
+  std::vector<GpuKernelTiming> per_gpu;
+  double max_kernel_seconds = 0.0;  // the paper's "GPU Time"
+  std::uint64_t total_interactions = 0;
+  double imbalance = 1.0;
+  // CPU-GPU communication timeline of the step (Section III.D): the
+  // non-blocking launch, upload+kernel completion, and the blocking gather.
+  StepTimeline timeline;
+};
+
+// Shapes of the work items assigned to one device.
+std::vector<GpuWorkShape> collect_shapes(const AdaptiveOctree& tree,
+                                         const std::vector<P2PWork>& work,
+                                         const std::vector<int>& assigned);
+
+// Runs all P2P work. `sources` and `ids` are tree-ordered (node spans index
+// into them); `out` accumulates per tree-ordered body.
+template <typename Kernel>
+GpuRunResult run_p2p(const AdaptiveOctree& tree,
+                     const std::vector<P2PWork>& work, const Kernel& kernel,
+                     std::span<const typename Kernel::Source> sources,
+                     std::span<const std::uint32_t> ids,
+                     const GpuSystemConfig& system,
+                     std::span<typename Kernel::Accum> out) {
+  GpuRunResult result;
+  const int g = static_cast<int>(system.devices.size());
+  const auto assignment = partition_p2p_work(work, g, system.partition);
+  result.imbalance = partition_imbalance(work, assignment);
+  std::vector<GpuTransferShape> transfers;
+
+  for (int dev = 0; dev < g; ++dev) {
+    // Numeric execution of this device's share.
+    for (int wi : assignment[dev]) {
+      const P2PWork& w = work[wi];
+      const OctreeNode& t = tree.node(w.target);
+      for (std::uint32_t bt = t.begin; bt < t.begin + t.count; ++bt) {
+        typename Kernel::Accum acc{};
+        const Vec3 xt = sources[bt].x;
+        for (int s : w.sources) {
+          const OctreeNode& sn = tree.node(s);
+          for (std::uint32_t bs = sn.begin; bs < sn.begin + sn.count; ++bs)
+            kernel.accumulate(xt, ids[bt], sources[bs], ids[bs], acc);
+        }
+        out[bt] += acc;
+      }
+    }
+    // Virtual timing of this device's share.
+    const auto shapes = collect_shapes(tree, work, assignment[dev]);
+    auto timing = simulate_kernel(system.devices[dev], shapes,
+                                  Kernel::flops_per_interaction());
+    result.total_interactions += timing.interactions;
+    result.max_kernel_seconds =
+        std::max(result.max_kernel_seconds, timing.seconds);
+
+    std::uint64_t targets = 0;
+    std::uint64_t list_entries = 0;
+    for (int wi : assignment[dev]) {
+      targets += tree.node(work[wi].target).count;
+      list_entries += work[wi].sources.size();
+    }
+    transfers.push_back(gravity_transfer_shape(
+        sources.size(), targets, list_entries, timing.seconds));
+
+    result.per_gpu.push_back(std::move(timing));
+  }
+  result.timeline = plan_step(system.link, transfers);
+  return result;
+}
+
+}  // namespace afmm

@@ -1,0 +1,79 @@
+#include "gpusim/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace afmm {
+
+std::vector<std::vector<int>> partition_p2p_work(
+    const std::vector<P2PWork>& work, int num_gpus, PartitionScheme scheme) {
+  if (num_gpus < 1) throw std::invalid_argument("partition: num_gpus < 1");
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(num_gpus));
+
+  switch (scheme) {
+    case PartitionScheme::kInteractionWalk: {
+      std::uint64_t total = 0;
+      for (const auto& w : work) total += w.interactions;
+      const double share =
+          static_cast<double>(total) / static_cast<double>(num_gpus);
+      int gpu = 0;
+      double count = 0.0;
+      for (int i = 0; i < static_cast<int>(work.size()); ++i) {
+        out[gpu].push_back(i);
+        count += static_cast<double>(work[i].interactions);
+        // "When the count meets or exceeds the total number of direct
+        // interactions divided by the number of GPUs we start counting work
+        // to send to the next GPU."
+        if (count >= share && gpu + 1 < num_gpus) {
+          ++gpu;
+          count = 0.0;
+        }
+      }
+      break;
+    }
+    case PartitionScheme::kNodeCount: {
+      const std::size_t per =
+          (work.size() + num_gpus - 1) / static_cast<std::size_t>(num_gpus);
+      for (std::size_t i = 0; i < work.size(); ++i)
+        out[std::min<std::size_t>(i / std::max<std::size_t>(per, 1),
+                                  num_gpus - 1)]
+            .push_back(static_cast<int>(i));
+      break;
+    }
+    case PartitionScheme::kLptInteractions: {
+      std::vector<int> order(work.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return work[a].interactions > work[b].interactions;
+      });
+      std::vector<std::uint64_t> load(static_cast<std::size_t>(num_gpus), 0);
+      for (int i : order) {
+        const auto g = static_cast<int>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        out[g].push_back(i);
+        load[g] += work[i].interactions;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+double partition_imbalance(const std::vector<P2PWork>& work,
+                           const std::vector<std::vector<int>>& assignment) {
+  std::uint64_t total = 0;
+  for (const auto& w : work) total += w.interactions;
+  if (total == 0 || assignment.empty()) return 1.0;
+  std::uint64_t worst = 0;
+  for (const auto& gpu : assignment) {
+    std::uint64_t load = 0;
+    for (int i : gpu) load += work[i].interactions;
+    worst = std::max(worst, load);
+  }
+  const double ideal =
+      static_cast<double>(total) / static_cast<double>(assignment.size());
+  return static_cast<double>(worst) / ideal;
+}
+
+}  // namespace afmm

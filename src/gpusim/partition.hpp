@@ -1,0 +1,35 @@
+// Multi-GPU work division for the near-field (P2P) phase.
+//
+// The paper (Section III.C) walks the target-node work list in order,
+// accumulating Interactions(t) = n_t * sum_{s in IList(t)} n_s, and cuts to
+// the next GPU whenever the running count meets or exceeds
+// total_interactions / num_gpus. No target node is ever split across GPUs.
+// Two alternative partitioners are provided for the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "octree/traversal.hpp"
+
+namespace afmm {
+
+enum class PartitionScheme {
+  kInteractionWalk,  // the paper's scheme
+  kNodeCount,        // equal number of target nodes per GPU (naive baseline)
+  kLptInteractions,  // longest-processing-time greedy on Interactions(t)
+};
+
+// assignment[g] lists indices into `work` handled by GPU g. Every work item
+// is assigned to exactly one GPU; empty vectors are possible for pathological
+// inputs (fewer work items than GPUs).
+std::vector<std::vector<int>> partition_p2p_work(
+    const std::vector<P2PWork>& work, int num_gpus,
+    PartitionScheme scheme = PartitionScheme::kInteractionWalk);
+
+// Max over GPUs of assigned interactions divided by the ideal share;
+// 1.0 = perfectly balanced.
+double partition_imbalance(const std::vector<P2PWork>& work,
+                           const std::vector<std::vector<int>>& assignment);
+
+}  // namespace afmm

@@ -1,0 +1,44 @@
+#include "gpusim/transfer.hpp"
+
+#include <algorithm>
+
+namespace afmm {
+
+double transfer_seconds(const TransferLinkConfig& link, std::uint64_t bytes) {
+  if (bytes == 0) return 0.0;
+  return link.latency_us * 1e-6 +
+         static_cast<double>(bytes) / (link.bandwidth_gbs * 1e9);
+}
+
+StepTimeline plan_step(const TransferLinkConfig& link,
+                       const std::vector<GpuTransferShape>& gpus) {
+  StepTimeline tl;
+  tl.launch_seconds = link.host_launch_us * 1e-6 *
+                      static_cast<double>(std::max<std::size_t>(gpus.size(), 1));
+  for (const auto& g : gpus) {
+    // Upload then kernel on this GPU's stream; GPUs run concurrently.
+    const double done =
+        transfer_seconds(link, g.upload_bytes) + g.kernel_seconds;
+    tl.gpu_done_seconds = std::max(tl.gpu_done_seconds, done);
+    // Downloads happen in the blocking gather; bandwidth overlaps across
+    // GPUs (each has its own link in the paper's 4-GPU node), so the gather
+    // cost is the slowest single download.
+    tl.download_seconds =
+        std::max(tl.download_seconds, transfer_seconds(link, g.download_bytes));
+  }
+  return tl;
+}
+
+GpuTransferShape gravity_transfer_shape(std::uint64_t bodies_uploaded,
+                                        std::uint64_t targets_downloaded,
+                                        std::uint64_t work_list_entries,
+                                        double kernel_seconds) {
+  GpuTransferShape s;
+  s.upload_bytes = bodies_uploaded * 4 * sizeof(double) +
+                   work_list_entries * 2 * sizeof(std::uint32_t);
+  s.download_bytes = targets_downloaded * 4 * sizeof(double);
+  s.kernel_seconds = kernel_seconds;
+  return s;
+}
+
+}  // namespace afmm

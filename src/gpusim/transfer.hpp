@@ -1,0 +1,69 @@
+// CPU-GPU communication model (paper Section III.D).
+//
+// The paper uses two host-side functions per time step:
+//
+//   1. a NON-BLOCKING setup+launch call, invoked by one CPU thread inside
+//      the parallel region while another thread starts the tree traversal --
+//      CPU and GPU work therefore begin effectively in parallel;
+//   2. a BLOCKING gather call after the traversal completes, which waits for
+//      the kernels and copies the results back (cudaMemcpy).
+//
+// This module models the timeline of that protocol: upload of body data and
+// work lists before the kernels, the kernel interval itself, and the result
+// download afterwards, over a PCIe-like link per GPU (transfers to distinct
+// GPUs overlap; transfer and kernel on one GPU serialize the way a default
+// stream would). The step's wall clock becomes
+//
+//   step = launch_host + max(CPU_far_field, upload + kernel) + download
+//
+// which reduces to the paper's max(CPU, GPU) when transfer times are small.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace afmm {
+
+struct TransferLinkConfig {
+  double bandwidth_gbs = 5.0;   // effective PCIe 2.0 x16 throughput
+  double latency_us = 10.0;     // per-transfer setup latency
+  double host_launch_us = 5.0;  // host-side cost of the non-blocking call
+};
+
+struct GpuTransferShape {
+  std::uint64_t upload_bytes = 0;    // bodies + work lists for this GPU
+  std::uint64_t download_bytes = 0;  // per-target results
+  double kernel_seconds = 0.0;       // from gpusim/simulate_kernel
+};
+
+struct StepTimeline {
+  double launch_seconds = 0.0;    // host-side non-blocking call
+  double gpu_done_seconds = 0.0;  // when the slowest GPU's kernel finishes
+                                  // (measured from the launch call's return)
+  double download_seconds = 0.0;  // blocking gather after CPU work is done
+  // Wall clock of the heterogeneous step given the CPU far-field time.
+  double step_seconds(double cpu_far_field_seconds) const {
+    const double concurrent =
+        cpu_far_field_seconds > gpu_done_seconds ? cpu_far_field_seconds
+                                                 : gpu_done_seconds;
+    return launch_seconds + concurrent + download_seconds;
+  }
+};
+
+double transfer_seconds(const TransferLinkConfig& link, std::uint64_t bytes);
+
+// Builds the step timeline for a set of per-GPU shapes. Uploads/kernels of
+// different GPUs overlap with each other and with the CPU far field;
+// downloads happen in the blocking gather and are serialized per link
+// latency but overlap across GPUs in bandwidth.
+StepTimeline plan_step(const TransferLinkConfig& link,
+                       const std::vector<GpuTransferShape>& gpus);
+
+// Bytes moved for a gravity-style solve: per body 4 doubles up (position +
+// charge) and 4 doubles down (potential + gradient), plus the work lists.
+GpuTransferShape gravity_transfer_shape(std::uint64_t bodies_uploaded,
+                                        std::uint64_t targets_downloaded,
+                                        std::uint64_t work_list_entries,
+                                        double kernel_seconds);
+
+}  // namespace afmm

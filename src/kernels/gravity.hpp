@@ -1,0 +1,81 @@
+// Gravitational (Laplace) interaction kernel.
+//
+// The FMM machinery works on the harmonic potential phi(x) = sum_j q_j /
+// |x - x_j| and its gradient; gravity is recovered as a = G * grad(phi) with
+// q_j = m_j (attractive: the acceleration points toward the sources).
+//
+// The P2P form supports Plummer softening: phi = q / sqrt(r^2 + eps^2).
+// Softening only affects close encounters; the far field (expansions) uses
+// the unsoftened kernel, which is exact for eps << cell separation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace afmm {
+
+struct GravitySource {
+  Vec3 x;
+  double q = 0.0;
+};
+
+struct GravityAccum {
+  double pot = 0.0;
+  Vec3 grad;  // gradient of phi; acceleration = G * grad
+
+  GravityAccum& operator+=(const GravityAccum& o) {
+    pot += o.pot;
+    grad += o.grad;
+    return *this;
+  }
+};
+
+class GravityKernel {
+ public:
+  using Source = GravitySource;
+  using Accum = GravityAccum;
+
+  explicit GravityKernel(double softening = 0.0)
+      : eps2_(softening * softening) {}
+
+  // One target <- source interaction; `tid`/`sid` are global body ids used to
+  // skip self-interaction exactly (coincident distinct bodies still count).
+  void accumulate(const Vec3& xt, std::uint32_t tid, const Source& s,
+                  std::uint32_t sid, Accum& a) const {
+    if (tid == sid) return;
+    const Vec3 r = s.x - xt;
+    const double r2 = norm2(r) + eps2_;
+    const double inv = 1.0 / std::sqrt(r2);
+    const double inv3 = inv * inv * inv;
+    a.pot += s.q * inv;
+    a.grad += (s.q * inv3) * r;
+  }
+
+  double softening2() const { return eps2_; }
+
+  // FLOP estimate of one interaction (for the GPU cycle model); matches the
+  // ~20 flop body of the classic all-pairs CUDA kernel [GPU Gems 3, ch.31].
+  static double flops_per_interaction() { return 20.0; }
+
+ private:
+  double eps2_;
+};
+
+// O(N^2) reference: potentials and gradients of all `targets` due to all
+// `sources`. Self-interactions are skipped via matching global ids
+// (targets are bodies target_ids[i]).
+void gravity_direct(const GravityKernel& kernel, std::span<const Vec3> targets,
+                    std::span<const std::uint32_t> target_ids,
+                    std::span<const GravitySource> sources,
+                    std::span<const std::uint32_t> source_ids,
+                    std::span<GravityAccum> out);
+
+// Convenience for tests: all-pairs over one body set (ids = indices).
+std::vector<GravityAccum> gravity_direct_all(const GravityKernel& kernel,
+                                             std::span<const Vec3> positions,
+                                             std::span<const double> charges);
+
+}  // namespace afmm

@@ -1,0 +1,145 @@
+#include "octree/traversal.hpp"
+
+#include <cmath>
+
+namespace afmm {
+
+namespace {
+constexpr double kSqrt3 = 1.7320508075688772;
+
+bool well_separated(const OctreeNode& a, const OctreeNode& b, double theta) {
+  const double ra = a.half * kSqrt3;
+  const double rb = b.half * kSqrt3;
+  const double s = (ra + rb) / theta;
+  return norm2(a.center - b.center) > s * s;
+}
+}  // namespace
+
+InteractionLists build_interaction_lists(const AdaptiveOctree& tree,
+                                         const TraversalConfig& config) {
+  InteractionLists out;
+  if (tree.empty()) return out;
+
+  const int n = tree.num_nodes();
+  // Flat (target, source) pair streams, grouped afterwards.
+  std::vector<std::pair<int, int>> m2l_pairs;
+  std::vector<std::pair<int, int>> p2p_pairs;
+  std::vector<std::pair<int, int>> m2p_pairs;
+  std::vector<std::pair<int, int>> p2l_pairs;
+
+  auto dual = [&](auto&& self, int ta, int sb) -> void {
+    const OctreeNode& a = tree.node(ta);
+    const OctreeNode& b = tree.node(sb);
+    if (a.count == 0 || b.count == 0) return;
+    if (well_separated(a, b, config.theta)) {
+      if (config.use_m2p_p2l) {
+        if (tree.is_effective_leaf(ta) &&
+            a.count <= static_cast<std::uint32_t>(config.m2p_target_max)) {
+          m2p_pairs.emplace_back(ta, sb);
+          return;
+        }
+        if (tree.is_effective_leaf(sb) &&
+            b.count <= static_cast<std::uint32_t>(config.p2l_source_max)) {
+          p2l_pairs.emplace_back(ta, sb);
+          return;
+        }
+      }
+      m2l_pairs.emplace_back(ta, sb);
+      return;
+    }
+    const bool la = tree.is_effective_leaf(ta);
+    const bool lb = tree.is_effective_leaf(sb);
+    if (la && lb) {
+      p2p_pairs.emplace_back(ta, sb);
+      return;
+    }
+    // Recurse into the larger box (target preferred on ties) so both sides
+    // shrink evenly; this keeps list sizes bounded for adaptive trees.
+    if (lb || (!la && a.half >= b.half)) {
+      for (int c : a.children) self(self, c, sb);
+    } else {
+      for (int c : b.children) self(self, ta, c);
+    }
+  };
+  dual(dual, tree.root(), tree.root());
+
+  // Group pair streams into CSR by target.
+  auto to_csr = [n](const std::vector<std::pair<int, int>>& pairs,
+                    std::vector<std::uint32_t>& offset,
+                    std::vector<int>& sources) {
+    offset.assign(n + 1, 0);
+    for (const auto& [t, s] : pairs) offset[t + 1]++;
+    for (int i = 0; i < n; ++i) offset[i + 1] += offset[i];
+    sources.resize(pairs.size());
+    std::vector<std::uint32_t> cursor(offset.begin(), offset.end() - 1);
+    for (const auto& [t, s] : pairs) sources[cursor[t]++] = s;
+  };
+  to_csr(m2l_pairs, out.m2l_offset, out.m2l_sources);
+  to_csr(m2p_pairs, out.m2p_offset, out.m2p_sources);
+  to_csr(p2l_pairs, out.p2l_offset, out.p2l_sources);
+  out.total_m2l_pairs = m2l_pairs.size();
+  out.total_m2p_pairs = m2p_pairs.size();
+  out.total_p2l_pairs = p2l_pairs.size();
+
+  // Group P2P pairs into per-target work items.
+  std::vector<int> work_of(n, -1);
+  for (const auto& [t, s] : p2p_pairs) {
+    if (work_of[t] < 0) {
+      work_of[t] = static_cast<int>(out.p2p.size());
+      out.p2p.push_back({t, {}, 0});
+    }
+    out.p2p[work_of[t]].sources.push_back(s);
+  }
+  for (auto& w : out.p2p) {
+    std::uint64_t srcs = 0;
+    for (int s : w.sources) srcs += tree.node(s).count;
+    w.interactions = static_cast<std::uint64_t>(tree.node(w.target).count) * srcs;
+    out.total_p2p_interactions += w.interactions;
+  }
+  return out;
+}
+
+OpCounts count_operations(const AdaptiveOctree& tree,
+                          const InteractionLists& lists) {
+  OpCounts c;
+  auto visit = [&](auto&& self, int id) -> void {
+    const OctreeNode& n = tree.node(id);
+    if (n.count == 0) return;
+    if (tree.is_effective_leaf(id)) {
+      ++c.p2m;
+      ++c.l2p;
+      c.p2m_bodies += n.count;
+      c.l2p_bodies += n.count;
+      return;
+    }
+    for (int ch : n.children) {
+      if (tree.node(ch).count == 0) continue;
+      ++c.m2m;
+      ++c.l2l;
+      self(self, ch);
+    }
+  };
+  if (!tree.empty()) visit(visit, tree.root());
+
+  c.m2l = lists.total_m2l_pairs;
+  c.p2p_interactions = lists.total_p2p_interactions;
+  for (const auto& w : lists.p2p) c.p2p_node_pairs += w.sources.size();
+
+  c.m2p = lists.total_m2p_pairs;
+  c.p2l = lists.total_p2l_pairs;
+  if (!lists.m2p_offset.empty()) {
+    for (int t = 0; t < tree.num_nodes(); ++t) {
+      const auto pairs = lists.m2p_offset[t + 1] - lists.m2p_offset[t];
+      c.m2p_bodies += static_cast<std::uint64_t>(pairs) * tree.node(t).count;
+    }
+  }
+  if (!lists.p2l_offset.empty()) {
+    for (int t = 0; t < tree.num_nodes(); ++t)
+      for (std::uint32_t e = lists.p2l_offset[t]; e < lists.p2l_offset[t + 1];
+           ++e)
+        c.p2l_bodies += tree.node(lists.p2l_sources[e]).count;
+  }
+  return c;
+}
+
+}  // namespace afmm

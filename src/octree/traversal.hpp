@@ -1,0 +1,98 @@
+// Dual tree traversal over the effective tree, producing the interaction
+// lists that drive the six FMM operators:
+//
+//   * M2L pairs  (target node <- well-separated source node)
+//   * P2P work   (target leaf <- list of nearby source leaves)
+//
+// A pair (A, B) is accepted for M2L when the multipole acceptance criterion
+// holds: (R_A + R_B) <= theta * dist(center_A, center_B) with R the
+// circumscribed-sphere radius of a box. Otherwise, two effective leaves
+// interact directly (P2P) and any other pair recurses into the larger box.
+// This covers every ordered body pair exactly once and only ever uses the
+// operators of the paper (Section I.C); the optional M2P/P2L shortcuts are a
+// separate extension (see core/fmm_solver.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "octree/octree.hpp"
+
+namespace afmm {
+
+struct TraversalConfig {
+  // Acceptance parameter in (0, 1): smaller is more accurate and more
+  // expensive. The Taylor truncation error scales like theta^(p+1).
+  double theta = 0.55;
+
+  // Extension (paper Section VIII.E mentions moving more work classes):
+  // for a well-separated pair, a tiny TARGET leaf can evaluate the source
+  // multipole directly at its bodies (M2P) and a tiny SOURCE leaf can be
+  // accumulated directly into the target's local expansion (P2L), both
+  // cheaper than a full M2L when the body count is below the thresholds.
+  // Truncation error is of the same class as M2L. Disabled by default.
+  bool use_m2p_p2l = false;
+  int m2p_target_max = 4;  // max bodies in a target leaf for M2P
+  int p2l_source_max = 4;  // max bodies in a source leaf for P2L
+};
+
+// Direct (near-field) work for one target leaf: interactions of every body
+// in `target` with every body of every node in `sources` (self included,
+// with the i == j pair skipped inside the kernel).
+struct P2PWork {
+  int target = -1;
+  std::vector<int> sources;
+  // Body-pair interaction count: n_target * sum(n_source); the quantity the
+  // paper calls Interactions(t) and uses to split work across GPUs.
+  std::uint64_t interactions = 0;
+};
+
+struct InteractionLists {
+  // CSR layout: M2L source node ids for target node t are
+  // m2l_sources[m2l_offset[t] .. m2l_offset[t+1]).
+  std::vector<std::uint32_t> m2l_offset;
+  std::vector<int> m2l_sources;
+  std::vector<P2PWork> p2p;
+
+  // Extension lists (empty unless TraversalConfig::use_m2p_p2l):
+  // CSR of M2P source nodes per target leaf, and P2L source leaves per
+  // target node, in the same layout as the M2L list.
+  std::vector<std::uint32_t> m2p_offset;
+  std::vector<int> m2p_sources;
+  std::vector<std::uint32_t> p2l_offset;
+  std::vector<int> p2l_sources;
+
+  std::uint64_t total_m2l_pairs = 0;
+  std::uint64_t total_p2p_interactions = 0;
+  std::uint64_t total_m2p_pairs = 0;
+  std::uint64_t total_p2l_pairs = 0;
+};
+
+// Runs the dual traversal; lists index nodes of `tree` (effective view).
+InteractionLists build_interaction_lists(const AdaptiveOctree& tree,
+                                         const TraversalConfig& config = {});
+
+// Operation-application counts of one full FMM solve on `tree` with `lists`,
+// exactly the M(Op) quantities of the paper's Section IV.D. Cheap to obtain
+// (no numerics), which is what makes the cost-model predictions affordable.
+struct OpCounts {
+  std::uint64_t p2m = 0;        // leaf applications
+  std::uint64_t p2m_bodies = 0; // bodies covered by P2M
+  std::uint64_t m2m = 0;        // child->parent shifts
+  std::uint64_t m2l = 0;        // node pair conversions
+  std::uint64_t l2l = 0;        // parent->child shifts
+  std::uint64_t l2p = 0;        // leaf applications
+  std::uint64_t l2p_bodies = 0;
+  std::uint64_t p2p_interactions = 0;  // body pairs
+  std::uint64_t p2p_node_pairs = 0;
+  // Extension operators (zero unless the traversal emitted them).
+  std::uint64_t m2p = 0;        // pair applications
+  std::uint64_t m2p_bodies = 0; // target-body evaluations
+  std::uint64_t p2l = 0;
+  std::uint64_t p2l_bodies = 0; // source-body accumulations
+};
+
+OpCounts count_operations(const AdaptiveOctree& tree,
+                          const InteractionLists& lists);
+
+}  // namespace afmm

@@ -1,0 +1,53 @@
+#include "util/morton.hpp"
+
+#include <algorithm>
+
+namespace afmm {
+namespace {
+
+// Spread the low 21 bits of v so bit i moves to bit 3i.
+std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffff;
+  v = (v | (v << 32)) & 0x001f00000000ffffull;
+  v = (v | (v << 16)) & 0x001f0000ff0000ffull;
+  v = (v | (v << 8)) & 0x100f00f00f00f00full;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ull;
+  v = (v | (v << 2)) & 0x1249249249249249ull;
+  return v;
+}
+
+// Inverse of spread3.
+std::uint32_t compact3(std::uint64_t v) {
+  v &= 0x1249249249249249ull;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ull;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00full;
+  v = (v ^ (v >> 8)) & 0x001f0000ff0000ffull;
+  v = (v ^ (v >> 16)) & 0x001f00000000ffffull;
+  v = (v ^ (v >> 32)) & 0x1fffff;
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
+}
+
+void morton_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y,
+                   std::uint32_t& z) {
+  x = compact3(key);
+  y = compact3(key >> 1);
+  z = compact3(key >> 2);
+}
+
+std::uint64_t morton_key(const Vec3& p, const Vec3& lo, double size) {
+  constexpr double kScale = 2097152.0;  // 2^21
+  auto cell = [&](double v, double l) {
+    double t = (v - l) / size * kScale;
+    t = std::clamp(t, 0.0, kScale - 1.0);
+    return static_cast<std::uint32_t>(t);
+  };
+  return morton_encode(cell(p.x, lo.x), cell(p.y, lo.y), cell(p.z, lo.z));
+}
+
+}  // namespace afmm

@@ -1,0 +1,24 @@
+// 3D Morton (Z-order) keys, 21 bits per dimension in a 64-bit key.
+//
+// Used for deterministic node ordering, locality-preserving body sorts and
+// property tests on the adaptive octree.
+#pragma once
+
+#include <cstdint>
+
+#include "util/vec3.hpp"
+
+namespace afmm {
+
+// Interleave the low 21 bits of x, y, z: bit i of x lands at bit 3i.
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+// Inverse of morton_encode.
+void morton_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y,
+                   std::uint32_t& z);
+
+// Map a point inside the cube [lo, lo+size)^3 to a Morton key at 21-bit
+// resolution. Points on the far boundary are clamped into the cube.
+std::uint64_t morton_key(const Vec3& p, const Vec3& lo, double size);
+
+}  // namespace afmm

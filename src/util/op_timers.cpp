@@ -1,0 +1,51 @@
+#include "util/op_timers.hpp"
+
+#include <omp.h>
+
+namespace afmm {
+
+const char* to_string(FmmOp op) {
+  switch (op) {
+    case FmmOp::kP2M: return "P2M";
+    case FmmOp::kM2M: return "M2M";
+    case FmmOp::kM2L: return "M2L";
+    case FmmOp::kL2L: return "L2L";
+    case FmmOp::kL2P: return "L2P";
+    case FmmOp::kM2P: return "M2P";
+    case FmmOp::kP2L: return "P2L";
+    case FmmOp::kCount: break;
+  }
+  return "?";
+}
+
+void OpTimers::add(FmmOp op, double seconds, std::uint64_t count) {
+  const int tid = omp_get_thread_num() % kMaxThreads;
+  Slot& slot = slots_[static_cast<std::size_t>(tid)];
+  slot.seconds[static_cast<int>(op)] += seconds;
+  slot.counts[static_cast<int>(op)] += count;
+}
+
+OpTotals OpTimers::totals(FmmOp op) const {
+  OpTotals t;
+  for (const auto& slot : slots_) {
+    t.seconds += slot.seconds[static_cast<int>(op)];
+    t.count += slot.counts[static_cast<int>(op)];
+  }
+  return t;
+}
+
+double OpTimers::total_seconds() const {
+  double sum = 0.0;
+  for (int op = 0; op < static_cast<int>(FmmOp::kCount); ++op)
+    sum += totals(static_cast<FmmOp>(op)).seconds;
+  return sum;
+}
+
+void OpTimers::reset() {
+  for (auto& slot : slots_) {
+    slot.seconds.fill(0.0);
+    slot.counts.fill(0);
+  }
+}
+
+}  // namespace afmm

@@ -1,0 +1,89 @@
+// Per-thread wall-clock accumulation of FMM operator times -- the paper's
+// Section IV.D measurement machinery: "on the CPU each thread keeps track of
+// the time spent on each FMM operation and the number of times it carried
+// out each operation"; coefficients are then total time / total count summed
+// over threads.
+//
+// Slots are cache-line padded so concurrent OpenMP task workers never share
+// a line. summarize() folds all threads into per-operation totals and
+// observational coefficients.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace afmm {
+
+enum class FmmOp : int {
+  kP2M = 0,
+  kM2M,
+  kM2L,
+  kL2L,
+  kL2P,
+  kM2P,
+  kP2L,
+  kCount
+};
+
+const char* to_string(FmmOp op);
+
+struct OpTotals {
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+  // Observational coefficient: seconds per application (0 if unused).
+  double coefficient() const {
+    return count ? seconds / static_cast<double>(count) : 0.0;
+  }
+};
+
+class OpTimers {
+ public:
+  static constexpr int kMaxThreads = 64;
+
+  OpTimers() = default;
+
+  // Accumulate `seconds` and `count` applications of `op` on the calling
+  // thread's slot. Thread id is taken from omp_get_thread_num().
+  void add(FmmOp op, double seconds, std::uint64_t count = 1);
+
+  // RAII scope: times its lifetime and accumulates on destruction.
+  class Scoped {
+   public:
+    Scoped(OpTimers* timers, FmmOp op, std::uint64_t count = 1)
+        : timers_(timers), op_(op), count_(count) {
+      if (timers_) start_ = std::chrono::steady_clock::now();
+    }
+    ~Scoped() {
+      if (!timers_) return;
+      const auto end = std::chrono::steady_clock::now();
+      timers_->add(op_, std::chrono::duration<double>(end - start_).count(),
+                   count_);
+    }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+   private:
+    OpTimers* timers_;
+    FmmOp op_;
+    std::uint64_t count_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  // Sums all thread slots for one operation.
+  OpTotals totals(FmmOp op) const;
+
+  // Total measured seconds across all operations and threads.
+  double total_seconds() const;
+
+  void reset();
+
+ private:
+  struct alignas(64) Slot {
+    std::array<double, static_cast<int>(FmmOp::kCount)> seconds{};
+    std::array<std::uint64_t, static_cast<int>(FmmOp::kCount)> counts{};
+  };
+  std::array<Slot, kMaxThreads> slots_{};
+};
+
+}  // namespace afmm

@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace afmm {
+
+void RunningStats::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) throw std::invalid_argument("percentile: empty sample");
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double rel_l2_error(const std::vector<double>& approx,
+                    const std::vector<double>& exact) {
+  if (approx.size() != exact.size())
+    throw std::invalid_argument("rel_l2_error: size mismatch");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    const double d = approx[i] - exact[i];
+    num += d * d;
+    den += exact[i] * exact[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+double max_rel_error(const std::vector<double>& approx,
+                     const std::vector<double>& exact, double floor) {
+  if (approx.size() != exact.size())
+    throw std::invalid_argument("max_rel_error: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    const double den = std::max(std::abs(exact[i]), floor);
+    worst = std::max(worst, std::abs(approx[i] - exact[i]) / den);
+  }
+  return worst;
+}
+
+}  // namespace afmm

@@ -1,0 +1,39 @@
+// Small statistics helpers used by benches and the load balancer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace afmm {
+
+// Streaming min / max / mean / variance (Welford).
+class RunningStats {
+ public:
+  void add(double v);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample (linear interpolation); q in [0, 1].
+double percentile(std::vector<double> sample, double q);
+
+// Relative L2 error of `approx` against `exact` (both flattened).
+double rel_l2_error(const std::vector<double>& approx,
+                    const std::vector<double>& exact);
+
+// Maximum relative component error, guarding tiny denominators with `floor`.
+double max_rel_error(const std::vector<double>& approx,
+                     const std::vector<double>& exact, double floor = 1e-30);
+
+}  // namespace afmm

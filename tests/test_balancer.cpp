@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "balance/load_balancer.hpp"
+#include "core/fmm_solver.hpp"
+#include "dist/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace afmm {
+namespace {
+
+TreeConfig unit_config(int S) {
+  TreeConfig tc;
+  tc.leaf_capacity = S;
+  tc.root_center = {0.5, 0.5, 0.5};
+  tc.root_half = 0.5;
+  return tc;
+}
+
+// Full pipeline observation: solve-less timing of the current tree.
+ObservedStepTimes observe_tree(const AdaptiveOctree& tree,
+                               const NodeSimulator& node,
+                               const ExpansionContext& ctx) {
+  const auto lists = build_interaction_lists(tree);
+  auto t = node.simulate_far_field(ctx, tree, lists);
+  std::vector<int> all(lists.p2p.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  double worst = 0.0;
+  const int g = static_cast<int>(node.gpus().devices.size());
+  const auto parts = partition_p2p_work(lists.p2p, g, node.gpus().partition);
+  for (int d = 0; d < g; ++d) {
+    const auto shapes = collect_shapes(tree, lists.p2p, parts[d]);
+    worst = std::max(
+        worst, simulate_kernel(node.gpus().devices[d], shapes, 20.0).seconds);
+  }
+  t.gpu_seconds = worst;
+  return t;
+}
+
+class BalancerLoop : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(61);
+    set_ = uniform_cube(30000, rng, {0.5, 0.5, 0.5}, 0.5);
+    node_ = std::make_unique<NodeSimulator>(CpuModelConfig{},
+                                            GpuSystemConfig::uniform(2));
+    ctx_ = std::make_unique<ExpansionContext>(4);
+  }
+
+  // Run `steps` balancer iterations on a static body set.
+  std::vector<LbStepReport> drive(LoadBalancer& lb, AdaptiveOctree& tree,
+                                  int steps) {
+    std::vector<LbStepReport> out;
+    for (int i = 0; i < steps; ++i) {
+      const auto obs = observe_tree(tree, *node_, *ctx_);
+      out.push_back(lb.post_step(tree, set_.positions, obs, *node_));
+    }
+    return out;
+  }
+
+  ParticleSet set_;
+  std::unique_ptr<NodeSimulator> node_;
+  std::unique_ptr<ExpansionContext> ctx_;
+};
+
+TEST_F(BalancerLoop, SearchConvergesAndBalancesDevices) {
+  LoadBalancerConfig cfg;
+  cfg.initial_S = 16;  // far from balanced: CPU-heavy
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+
+  const auto reports = drive(lb, tree, 25);
+  // Search must terminate within max_search_steps.
+  int search_steps = 0;
+  for (const auto& r : reports)
+    if (r.state_before == LbState::kSearch) ++search_steps;
+  EXPECT_LE(search_steps, cfg.max_search_steps);
+  EXPECT_NE(lb.state(), LbState::kSearch);
+
+  // After settling, CPU and GPU times must be within the relative gap.
+  const auto obs = observe_tree(tree, *node_, *ctx_);
+  const double gap = std::abs(obs.cpu_seconds - obs.gpu_seconds);
+  EXPECT_LT(gap, 0.35 * obs.compute_seconds());
+  // And S moved up from the CPU-heavy initial value.
+  EXPECT_GT(lb.current_S(), 16);
+}
+
+TEST_F(BalancerLoop, ReachesObservationAndGoesQuiet) {
+  LoadBalancerConfig cfg;
+  cfg.initial_S = 32;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+
+  const auto reports = drive(lb, tree, 40);
+  EXPECT_EQ(lb.state(), LbState::kObservation);
+  // Once in observation on a static workload, nothing should be modified.
+  bool quiet = true;
+  for (std::size_t i = reports.size() - 5; i < reports.size(); ++i)
+    if (reports[i].rebuilt || reports[i].enforce_ops || reports[i].fgo_ops)
+      quiet = false;
+  EXPECT_TRUE(quiet);
+}
+
+TEST_F(BalancerLoop, StaticStrategyNeverTouchesTreeAfterSearch) {
+  LoadBalancerConfig cfg;
+  cfg.strategy = LbStrategy::kStatic;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+  drive(lb, tree, 20);
+  ASSERT_EQ(lb.state(), LbState::kObservation);
+
+  // Squash the bodies: compute time degrades, but kStatic must do nothing.
+  for (auto& p : set_.positions)
+    p = Vec3{0.5, 0.5, 0.5} + 0.25 * (p - Vec3{0.5, 0.5, 0.5});
+  tree.rebin(set_.positions);
+  const auto reports = drive(lb, tree, 5);
+  for (const auto& r : reports) {
+    EXPECT_FALSE(r.rebuilt);
+    EXPECT_EQ(r.enforce_ops, 0);
+    EXPECT_EQ(r.fgo_ops, 0);
+  }
+}
+
+TEST_F(BalancerLoop, EnforceOnlyStrategyReactsToDrift) {
+  LoadBalancerConfig cfg;
+  cfg.strategy = LbStrategy::kEnforceOnly;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+  drive(lb, tree, 20);
+  ASSERT_EQ(lb.state(), LbState::kObservation);
+
+  for (auto& p : set_.positions)
+    p = Vec3{0.5, 0.5, 0.5} + 0.2 * (p - Vec3{0.5, 0.5, 0.5});
+  tree.rebin(set_.positions);
+  EXPECT_GT(tree.max_leaf_count(), lb.current_S());
+
+  const auto reports = drive(lb, tree, 3);
+  int enforce_total = 0;
+  for (const auto& r : reports) enforce_total += r.enforce_ops;
+  EXPECT_GT(enforce_total, 0);
+  EXPECT_LE(tree.max_leaf_count(), lb.current_S());
+}
+
+TEST_F(BalancerLoop, FullStrategyRecoversFromDrift) {
+  LoadBalancerConfig cfg;
+  cfg.strategy = LbStrategy::kFull;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+  drive(lb, tree, 30);
+
+  const double settled = observe_tree(tree, *node_, *ctx_).compute_seconds();
+
+  // Drift: contract the cloud so the old tree is badly off.
+  for (auto& p : set_.positions)
+    p = Vec3{0.5, 0.5, 0.5} + 0.3 * (p - Vec3{0.5, 0.5, 0.5});
+  tree.rebin(set_.positions);
+  const double degraded = observe_tree(tree, *node_, *ctx_).compute_seconds();
+
+  drive(lb, tree, 15);
+  const double recovered = observe_tree(tree, *node_, *ctx_).compute_seconds();
+  // Balancing must claw back most of the degradation (the contracted cloud
+  // is denser, so matching the original time exactly is not expected).
+  EXPECT_LT(recovered, degraded);
+  EXPECT_LT(recovered, settled * 3.0);
+}
+
+TEST_F(BalancerLoop, ReportsCarryLbCosts) {
+  LoadBalancerConfig cfg;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+  const auto reports = drive(lb, tree, 10);
+  // Rebuild steps must be charged a nonzero virtual cost.
+  for (const auto& r : reports) {
+    if (r.rebuilt) {
+      EXPECT_GT(r.lb_seconds, 0.0);
+    }
+  }
+}
+
+TEST_F(BalancerLoop, FgoDisabledNeverAppliesFineGrainedOps) {
+  LoadBalancerConfig cfg;
+  cfg.enable_fgo = false;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+  auto reports = drive(lb, tree, 25);
+
+  // Perturb heavily to force observation-state reactions, then keep going.
+  for (auto& p : set_.positions)
+    p = Vec3{0.5, 0.5, 0.5} + 0.25 * (p - Vec3{0.5, 0.5, 0.5});
+  tree.rebin(set_.positions);
+  auto more = drive(lb, tree, 10);
+  reports.insert(reports.end(), more.begin(), more.end());
+  for (const auto& r : reports) EXPECT_EQ(r.fgo_ops, 0);
+}
+
+TEST_F(BalancerLoop, FgoImprovesPredictedComputeWhenUnbalanced) {
+  // Engineer an unbalanced tree: settle the balancer, then force a much
+  // finer tree (CPU-heavy) and check FineGrainedOptimize's prediction loop
+  // claws the predicted compute time back down via collapses.
+  LoadBalancerConfig cfg;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+  drive(lb, tree, 25);
+
+  // Refine everything one level below the balanced point: CPU-heavy.
+  AdaptiveOctree fine;
+  auto tc = unit_config(std::max(4, lb.current_S() / 4));
+  fine.build(set_.positions, tc);
+  const auto before = observe_tree(fine, *node_, *ctx_);
+  EXPECT_GT(before.cpu_seconds, before.gpu_seconds);
+
+  // Drive the observation state: it should enforce + fine-tune the tree.
+  auto reports = drive(lb, fine, 4);
+  int fgo = 0;
+  for (const auto& r : reports) fgo += r.fgo_ops;
+  const auto after = observe_tree(fine, *node_, *ctx_);
+  // Whatever route the balancer took (FGO collapses or falling back to
+  // incremental rebuilds), the compute time must not be left degraded.
+  EXPECT_LT(after.compute_seconds(), before.compute_seconds() * 1.05);
+  EXPECT_GE(fgo, 0);
+}
+
+TEST(LoadBalancer, ToStringCoversEnums) {
+  EXPECT_STREQ(to_string(LbState::kSearch), "search");
+  EXPECT_STREQ(to_string(LbState::kIncremental), "incremental");
+  EXPECT_STREQ(to_string(LbState::kObservation), "observation");
+  EXPECT_STREQ(to_string(LbStrategy::kStatic), "static");
+  EXPECT_STREQ(to_string(LbStrategy::kEnforceOnly), "enforce-only");
+  EXPECT_STREQ(to_string(LbStrategy::kFull), "full");
+}
+
+}  // namespace
+}  // namespace afmm

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/p2p_executor.hpp"
+#include "kernels/cpu_p2p.hpp"
+#include "kernels/gravity.hpp"
+#include "kernels/stokeslet.hpp"
+#include "util/rng.hpp"
+
+namespace afmm {
+namespace {
+
+TreeConfig unit_config(int S) {
+  TreeConfig tc;
+  tc.leaf_capacity = S;
+  tc.root_center = {0.5, 0.5, 0.5};
+  tc.root_half = 0.5;
+  return tc;
+}
+
+TEST(CpuP2P, BitwiseEqualToGpuExecutorGravity) {
+  Rng rng(15);
+  const int n = 800;
+  std::vector<Vec3> pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  std::vector<double> q(n);
+  for (auto& v : q) v = rng.uniform(0.1, 2.0);
+
+  AdaptiveOctree tree;
+  tree.build(pts, unit_config(24));
+  const auto lists = build_interaction_lists(tree);
+  const auto pos = tree.sorted_positions();
+  const auto perm = tree.perm();
+  std::vector<GravitySource> sources(n);
+  for (int t = 0; t < n; ++t) sources[t] = {pos[t], q[perm[t]]};
+
+  GravityKernel kernel;
+  std::vector<GravityAccum> gpu(n), cpu(n);
+  run_p2p(tree, lists.p2p, kernel, std::span<const GravitySource>(sources),
+          perm, GpuSystemConfig::uniform(3), std::span<GravityAccum>(gpu));
+  const auto stats =
+      run_p2p_cpu(tree, lists.p2p, kernel,
+                  std::span<const GravitySource>(sources), perm,
+                  std::span<GravityAccum>(cpu));
+
+  EXPECT_EQ(stats.interactions, lists.total_p2p_interactions);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(cpu[i].pot, gpu[i].pot) << i;
+    EXPECT_EQ(cpu[i].grad, gpu[i].grad) << i;
+  }
+}
+
+TEST(CpuP2P, BitwiseEqualToGpuExecutorStokeslet) {
+  Rng rng(16);
+  const int n = 500;
+  std::vector<Vec3> pts(n), f(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  for (auto& v : f)
+    v = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+
+  AdaptiveOctree tree;
+  tree.build(pts, unit_config(20));
+  const auto lists = build_interaction_lists(tree);
+  const auto pos = tree.sorted_positions();
+  const auto perm = tree.perm();
+  std::vector<StokesletSource> sources(n);
+  for (int t = 0; t < n; ++t) sources[t] = {pos[t], f[perm[t]]};
+
+  StokesletKernel kernel(1e-3);
+  std::vector<StokesletAccum> gpu(n), cpu(n);
+  run_p2p(tree, lists.p2p, kernel, std::span<const StokesletSource>(sources),
+          perm, GpuSystemConfig::uniform(2), std::span<StokesletAccum>(gpu));
+  run_p2p_cpu(tree, lists.p2p, kernel,
+              std::span<const StokesletSource>(sources), perm,
+              std::span<StokesletAccum>(cpu));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(cpu[i].u, gpu[i].u) << i;
+}
+
+TEST(CpuP2P, EmptyWorkIsNoOp) {
+  AdaptiveOctree tree;
+  std::vector<Vec3> one{{0.5, 0.5, 0.5}};
+  tree.build(one, unit_config(8));
+  GravityKernel kernel;
+  std::vector<GravitySource> sources{{one[0], 1.0}};
+  std::vector<GravityAccum> out(1);
+  const auto stats = run_p2p_cpu(tree, std::vector<P2PWork>{}, kernel,
+                                 std::span<const GravitySource>(sources),
+                                 tree.perm(), std::span<GravityAccum>(out));
+  EXPECT_EQ(stats.interactions, 0u);
+  EXPECT_EQ(out[0].pot, 0.0);
+}
+
+}  // namespace
+}  // namespace afmm

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cpusched/task_sim.hpp"
+
+namespace afmm {
+namespace {
+
+TEST(TaskSim, SerialEqualsTotalWork) {
+  TaskGraphSim g;
+  for (int i = 0; i < 10; ++i) g.add_task(1.0);
+  EXPECT_DOUBLE_EQ(g.makespan(1), 10.0);
+  EXPECT_DOUBLE_EQ(g.total_work(), 10.0);
+}
+
+TEST(TaskSim, IndependentTasksScalePerfectly) {
+  TaskGraphSim g;
+  for (int i = 0; i < 16; ++i) g.add_task(1.0);
+  EXPECT_DOUBLE_EQ(g.makespan(4), 4.0);
+  EXPECT_DOUBLE_EQ(g.makespan(16), 1.0);
+  EXPECT_DOUBLE_EQ(g.makespan(32), 1.0);  // no benefit past the task count
+}
+
+TEST(TaskSim, ChainIsSerialRegardlessOfWorkers) {
+  TaskGraphSim g;
+  int prev = g.add_task(1.0);
+  for (int i = 1; i < 8; ++i) {
+    const int t = g.add_task(1.0);
+    g.add_dependency(prev, t);
+    prev = t;
+  }
+  EXPECT_DOUBLE_EQ(g.makespan(8), 8.0);
+  EXPECT_DOUBLE_EQ(g.critical_path(), 8.0);
+}
+
+TEST(TaskSim, ForkJoinShape) {
+  // root -> 4 children -> join task.
+  TaskGraphSim g;
+  const int root = g.add_task(1.0);
+  const int join = g.add_task(1.0);
+  for (int i = 0; i < 4; ++i) {
+    const int c = g.add_task(2.0);
+    g.add_dependency(root, c);
+    g.add_dependency(c, join);
+  }
+  EXPECT_DOUBLE_EQ(g.makespan(4), 1.0 + 2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(g.makespan(1), 1.0 + 8.0 + 1.0);
+  EXPECT_DOUBLE_EQ(g.makespan(2), 1.0 + 4.0 + 1.0);
+}
+
+TEST(TaskSim, BrentBoundSandwich) {
+  // Greedy schedule obeys max(W/P, CP) <= makespan <= W/P + CP.
+  TaskGraphSim g;
+  std::vector<int> prev_layer;
+  for (int layer = 0; layer < 5; ++layer) {
+    std::vector<int> cur;
+    for (int i = 0; i < 7; ++i) {
+      const int t = g.add_task(0.5 + 0.1 * ((layer * 7 + i) % 5));
+      for (std::size_t j = 0; j < prev_layer.size(); j += 2)
+        g.add_dependency(prev_layer[j], t);
+      cur.push_back(t);
+    }
+    prev_layer = cur;
+  }
+  const double w = g.total_work();
+  const double cp = g.critical_path();
+  for (int p : {1, 2, 4, 8}) {
+    const double m = g.makespan(p);
+    EXPECT_GE(m, std::max(w / p, cp) - 1e-12) << "p=" << p;
+    EXPECT_LE(m, w / p + cp + 1e-12) << "p=" << p;
+  }
+}
+
+TEST(TaskSim, MakespanMonotoneInWorkers) {
+  TaskGraphSim g;
+  for (int i = 0; i < 100; ++i) g.add_task(0.1 + (i % 7) * 0.03);
+  double prev = 1e30;
+  for (int p : {1, 2, 3, 5, 9, 17}) {
+    const double m = g.makespan(p);
+    EXPECT_LE(m, prev + 1e-12);
+    prev = m;
+  }
+}
+
+TEST(TaskSim, OverheadAddsPerTask) {
+  TaskGraphSim g;
+  for (int i = 0; i < 10; ++i) g.add_task(1.0);
+  EXPECT_DOUBLE_EQ(g.makespan(1, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(g.critical_path(0.5), 1.5);
+}
+
+TEST(TaskSim, DetectsCycle) {
+  TaskGraphSim g;
+  const int a = g.add_task(1.0);
+  const int b = g.add_task(1.0);
+  g.add_dependency(a, b);
+  g.add_dependency(b, a);
+  EXPECT_THROW(g.makespan(2), std::logic_error);
+  EXPECT_THROW(g.critical_path(), std::logic_error);
+}
+
+TEST(TaskSim, RejectsZeroWorkers) {
+  TaskGraphSim g;
+  g.add_task(1.0);
+  EXPECT_THROW(g.makespan(0), std::invalid_argument);
+}
+
+TEST(TaskSim, EmptyGraphIsZero) {
+  TaskGraphSim g;
+  EXPECT_DOUBLE_EQ(g.makespan(4), 0.0);
+  EXPECT_DOUBLE_EQ(g.critical_path(), 0.0);
+}
+
+TEST(TaskSim, WideTreeSpeedupNearLinear) {
+  // A tree of 8^3 leaf tasks under a 2-level spawn hierarchy: with 64
+  // workers the speedup should be near 64 when leaf work dominates.
+  TaskGraphSim g;
+  const int root = g.add_task(0.001);
+  for (int i = 0; i < 8; ++i) {
+    const int mid = g.add_task(0.001);
+    g.add_dependency(root, mid);
+    for (int j = 0; j < 8; ++j) {
+      const int lo = g.add_task(0.001);
+      g.add_dependency(mid, lo);
+      for (int k = 0; k < 8; ++k) {
+        const int leaf = g.add_task(1.0);
+        g.add_dependency(lo, leaf);
+      }
+    }
+  }
+  const double s1 = g.makespan(1);
+  const double s64 = g.makespan(64);
+  EXPECT_GT(s1 / s64, 55.0);
+}
+
+}  // namespace
+}  // namespace afmm

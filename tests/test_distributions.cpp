@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/distributions.hpp"
+#include "util/stats.hpp"
+
+namespace afmm {
+namespace {
+
+TEST(Plummer, MassAndCount) {
+  Rng rng(81);
+  PlummerOptions opt;
+  opt.total_mass = 7.0;
+  const auto set = plummer(5000, rng, opt);
+  EXPECT_EQ(set.size(), 5000u);
+  double m = 0.0;
+  for (double v : set.masses) m += v;
+  EXPECT_NEAR(m, 7.0, 1e-9);
+}
+
+TEST(Plummer, CenteredAtRequestedCenter) {
+  Rng rng(82);
+  PlummerOptions opt;
+  opt.center = {3, -2, 5};
+  const auto set = plummer(20000, rng, opt);
+  Vec3 com;
+  for (const auto& p : set.positions) com += p;
+  com = com / static_cast<double>(set.size());
+  EXPECT_NEAR(com.x, 3, 0.1);
+  EXPECT_NEAR(com.y, -2, 0.1);
+  EXPECT_NEAR(com.z, 5, 0.1);
+}
+
+TEST(Plummer, HalfMassRadiusMatchesTheory) {
+  // The Plummer half-mass radius is about 1.3 a.
+  Rng rng(83);
+  PlummerOptions opt;
+  opt.scale_radius = 2.0;
+  const auto set = plummer(40000, rng, opt);
+  std::vector<double> radii;
+  for (const auto& p : set.positions) radii.push_back(norm(p));
+  EXPECT_NEAR(percentile(radii, 0.5), 1.30 * 2.0, 0.1 * 2.0);
+}
+
+TEST(Plummer, MaxRadiusClipped) {
+  Rng rng(84);
+  PlummerOptions opt;
+  opt.max_radius = 5.0;
+  const auto set = plummer(20000, rng, opt);
+  for (const auto& p : set.positions) EXPECT_LE(norm(p), 5.0 + 1e-9);
+}
+
+TEST(Plummer, VelocityScaleZeroIsCold) {
+  Rng rng(85);
+  PlummerOptions opt;
+  opt.velocity_scale = 0.0;
+  const auto set = plummer(100, rng, opt);
+  for (const auto& v : set.velocities) EXPECT_EQ(norm(v), 0.0);
+}
+
+TEST(Plummer, VirialVelocitiesBelowEscape) {
+  Rng rng(86);
+  const auto set = plummer(5000, rng, {});
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const double r = norm(set.positions[i]);
+    const double vesc = std::sqrt(2.0) * std::pow(1 + r * r, -0.25);
+    EXPECT_LE(norm(set.velocities[i]), vesc + 1e-12);
+  }
+}
+
+TEST(Plummer, BulkVelocityApplied) {
+  Rng rng(87);
+  PlummerOptions opt;
+  opt.bulk_velocity = {10, 0, 0};
+  const auto set = plummer(5000, rng, opt);
+  Vec3 mean;
+  for (const auto& v : set.velocities) mean += v;
+  mean = mean / static_cast<double>(set.size());
+  EXPECT_NEAR(mean.x, 10, 0.05);
+}
+
+TEST(UniformCube, PointsInsideBounds) {
+  Rng rng(88);
+  const auto set = uniform_cube(5000, rng, {1, 2, 3}, 0.5);
+  for (const auto& p : set.positions) {
+    EXPECT_GE(p.x, 0.5);
+    EXPECT_LT(p.x, 1.5);
+    EXPECT_GE(p.y, 1.5);
+    EXPECT_LT(p.y, 2.5);
+    EXPECT_GE(p.z, 2.5);
+    EXPECT_LT(p.z, 3.5);
+  }
+}
+
+TEST(UniformCube, RoughlyUniformOctants) {
+  Rng rng(89);
+  const auto set = uniform_cube(16000, rng, {0, 0, 0}, 1.0);
+  int counts[8] = {};
+  for (const auto& p : set.positions)
+    ++counts[(p.x >= 0) | ((p.y >= 0) << 1) | ((p.z >= 0) << 2)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 200);
+}
+
+TEST(TwoCluster, SeparationAndApproach) {
+  Rng rng(90);
+  PlummerOptions opt;
+  opt.scale_radius = 0.1;
+  const auto set = two_cluster_collision(10000, rng, 4.0, 1.0, opt);
+  EXPECT_EQ(set.size(), 10000u);
+  // First half centered at -2, second at +2.
+  Vec3 com_a, com_b;
+  for (int i = 0; i < 5000; ++i) com_a += set.positions[i];
+  for (int i = 5000; i < 10000; ++i) com_b += set.positions[i];
+  com_a = com_a / 5000.0;
+  com_b = com_b / 5000.0;
+  EXPECT_NEAR(com_a.x, -2.0, 0.05);
+  EXPECT_NEAR(com_b.x, 2.0, 0.05);
+  // Approaching: relative velocity along x is positive for the left cluster.
+  Vec3 va, vb;
+  for (int i = 0; i < 5000; ++i) va += set.velocities[i];
+  for (int i = 5000; i < 10000; ++i) vb += set.velocities[i];
+  EXPECT_GT(va.x / 5000.0, vb.x / 5000.0);
+}
+
+TEST(HelicalFiber, PointsOnHelixWithUnitTangents) {
+  std::vector<Vec3> forces;
+  const auto pos = helical_fiber(500, 0.3, 0.1, 3.0, forces);
+  ASSERT_EQ(pos.size(), 500u);
+  ASSERT_EQ(forces.size(), 500u);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    // On the cylinder of radius 0.3.
+    EXPECT_NEAR(std::hypot(pos[i].x, pos[i].y), 0.3, 1e-12);
+    // Unit force.
+    EXPECT_NEAR(norm(forces[i]), 1.0, 1e-12);
+  }
+  // z spans pitch * turns.
+  EXPECT_NEAR(pos.back().z - pos.front().z, 0.1 * 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace afmm

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gpusim/gpu_model.hpp"
+#include "gpusim/p2p_executor.hpp"
+#include "gpusim/partition.hpp"
+#include "kernels/gravity.hpp"
+#include "octree/octree.hpp"
+#include "octree/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace afmm {
+namespace {
+
+std::vector<Vec3> random_points(Rng& rng, int n) {
+  std::vector<Vec3> pts;
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  return pts;
+}
+
+TreeConfig unit_config(int S) {
+  TreeConfig tc;
+  tc.leaf_capacity = S;
+  tc.root_center = {0.5, 0.5, 0.5};
+  tc.root_half = 0.5;
+  return tc;
+}
+
+// ---------------------------------------------------------- cycle model ----
+
+TEST(GpuModel, BlockCyclesMonotonicInSources) {
+  GpuDeviceConfig dev;
+  double prev = 0.0;
+  for (std::uint64_t s : {1u, 10u, 100u, 1000u, 10000u}) {
+    const double c = block_cycles(dev, 256, s, 20.0);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(GpuModel, BlockCyclesLinearAsymptotically) {
+  GpuDeviceConfig dev;
+  const double c1 = block_cycles(dev, 256, 1 << 16, 20.0);
+  const double c2 = block_cycles(dev, 256, 1 << 17, 20.0);
+  EXPECT_NEAR(c2 / c1, 2.0, 0.05);
+}
+
+TEST(GpuModel, BlockCyclesScaleWithLanes) {
+  GpuDeviceConfig dev;
+  dev.cycles_per_block = 0.0;
+  dev.cycles_per_tile_load = 0.0;
+  EXPECT_NEAR(block_cycles(dev, 256, 10000, 20.0),
+              8.0 * block_cycles(dev, 32, 10000, 20.0), 1e-6);
+}
+
+TEST(GpuModel, RaggedBlockPaysWarpGranularLanes) {
+  // A work item with 1 target still pays a whole 32-lane warp marching over
+  // all 10k sources -- the small-target inefficiency of Section III.C --
+  // but not the full 256-lane block.
+  GpuDeviceConfig dev;
+  const std::vector<GpuWorkShape> tiny{{1, 10000}};
+  const std::vector<GpuWorkShape> full{{256, 10000}};
+  const auto t_tiny = simulate_kernel(dev, tiny, 20.0);
+  const auto t_full = simulate_kernel(dev, full, 20.0);
+  EXPECT_LT(t_tiny.seconds, t_full.seconds);
+  EXPECT_GT(t_tiny.seconds, 0.09 * t_full.seconds);  // ~32/256 of the cost
+  EXPECT_NEAR(t_tiny.busy_lane_fraction, 1.0 / 32.0, 1e-9);
+  EXPECT_NEAR(t_full.busy_lane_fraction, 1.0, 1e-9);
+}
+
+TEST(GpuModel, ManyBlocksFillSms) {
+  GpuDeviceConfig dev;
+  dev.num_sms = 4;
+  // 1 block vs 4 equal blocks on 4 SMs: same makespan; 5 blocks: ~2x.
+  const auto one = simulate_kernel(dev, {{256, 5000}}, 20.0);
+  const auto four = simulate_kernel(dev, {{4 * 256, 5000}}, 20.0);
+  const auto five = simulate_kernel(dev, {{5 * 256, 5000}}, 20.0);
+  EXPECT_NEAR(four.seconds, one.seconds, 1e-12);
+  EXPECT_GT(five.seconds, 1.8 * one.seconds - dev.launch_overhead_us * 1e-6);
+}
+
+TEST(GpuModel, EmptyWorkCostsOnlyLaunch) {
+  GpuDeviceConfig dev;
+  const auto t = simulate_kernel(dev, {}, 20.0);
+  EXPECT_NEAR(t.seconds, dev.launch_overhead_us * 1e-6, 1e-12);
+  EXPECT_EQ(t.blocks, 0u);
+}
+
+// ---------------------------------------------------------- partitioning ----
+
+std::vector<P2PWork> synthetic_work(Rng& rng, int n) {
+  std::vector<P2PWork> work(n);
+  for (int i = 0; i < n; ++i) {
+    work[i].target = i;
+    work[i].interactions = 1000 + rng.below(100000);
+  }
+  return work;
+}
+
+class PartitionSchemes : public ::testing::TestWithParam<PartitionScheme> {};
+
+TEST_P(PartitionSchemes, EveryItemAssignedOnce) {
+  Rng rng(3);
+  const auto work = synthetic_work(rng, 200);
+  for (int g : {1, 2, 3, 4, 7}) {
+    const auto parts = partition_p2p_work(work, g, GetParam());
+    ASSERT_EQ(static_cast<int>(parts.size()), g);
+    std::vector<int> seen(work.size(), 0);
+    for (const auto& gpu : parts)
+      for (int i : gpu) ++seen[i];
+    for (int s : seen) EXPECT_EQ(s, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PartitionSchemes,
+                         ::testing::Values(PartitionScheme::kInteractionWalk,
+                                           PartitionScheme::kNodeCount,
+                                           PartitionScheme::kLptInteractions));
+
+TEST(Partition, InteractionWalkBalancesWell) {
+  Rng rng(4);
+  const auto work = synthetic_work(rng, 500);
+  const auto parts = partition_p2p_work(work, 4);
+  // The paper's walk cuts as soon as the share is met; each GPU's overshoot
+  // is at most one work item, so imbalance stays modest.
+  EXPECT_LT(partition_imbalance(work, parts), 1.25);
+}
+
+TEST(Partition, LptBeatsNodeCountOnSkewedWork) {
+  std::vector<P2PWork> work(40);
+  for (int i = 0; i < 40; ++i) {
+    work[i].target = i;
+    work[i].interactions = (i < 4) ? 1000000 : 1000;  // four huge items
+  }
+  const auto naive = partition_p2p_work(work, 4, PartitionScheme::kNodeCount);
+  const auto lpt =
+      partition_p2p_work(work, 4, PartitionScheme::kLptInteractions);
+  EXPECT_LT(partition_imbalance(work, lpt), partition_imbalance(work, naive));
+}
+
+TEST(Partition, SingleGpuGetsEverything) {
+  Rng rng(5);
+  const auto work = synthetic_work(rng, 50);
+  const auto parts = partition_p2p_work(work, 1);
+  EXPECT_EQ(parts[0].size(), work.size());
+  EXPECT_DOUBLE_EQ(partition_imbalance(work, parts), 1.0);
+}
+
+TEST(Partition, RejectsZeroGpus) {
+  EXPECT_THROW(partition_p2p_work({}, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- executor ----
+
+TEST(P2PExecutor, ForcesMatchDirectReference) {
+  Rng rng(6);
+  const int n = 400;
+  const auto pts = random_points(rng, n);
+  std::vector<double> q(n);
+  for (auto& v : q) v = rng.uniform(0.1, 2.0);
+
+  AdaptiveOctree tree;
+  tree.build(pts, unit_config(20));
+  const auto lists = build_interaction_lists(tree);
+
+  const auto pos = tree.sorted_positions();
+  const auto perm = tree.perm();
+  std::vector<GravitySource> sources(n);
+  for (int t = 0; t < n; ++t) sources[t] = {pos[t], q[perm[t]]};
+  std::vector<GravityAccum> out(n);
+
+  GravityKernel kernel;
+  for (int gpus : {1, 2, 4}) {
+    std::fill(out.begin(), out.end(), GravityAccum{});
+    const auto res = run_p2p(tree, lists.p2p, kernel,
+                             std::span<const GravitySource>(sources), perm,
+                             GpuSystemConfig::uniform(gpus),
+                             std::span<GravityAccum>(out));
+    EXPECT_EQ(res.total_interactions, lists.total_p2p_interactions);
+
+    // Reference: direct accumulation per target over its source nodes.
+    for (const auto& w : lists.p2p) {
+      const auto& tn = tree.node(w.target);
+      for (std::uint32_t bt = tn.begin; bt < tn.begin + tn.count; ++bt) {
+        GravityAccum ref;
+        for (int s : w.sources) {
+          const auto& sn = tree.node(s);
+          for (std::uint32_t bs = sn.begin; bs < sn.begin + sn.count; ++bs)
+            kernel.accumulate(pos[bt], perm[bt], sources[bs], perm[bs], ref);
+        }
+        EXPECT_NEAR(out[bt].pot, ref.pot, 1e-12 * std::abs(ref.pot))
+            << "gpus=" << gpus;
+      }
+    }
+  }
+}
+
+TEST(P2PExecutor, ResultIndependentOfGpuCount) {
+  Rng rng(7);
+  const int n = 600;
+  const auto pts = random_points(rng, n);
+  AdaptiveOctree tree;
+  tree.build(pts, unit_config(25));
+  const auto lists = build_interaction_lists(tree);
+  const auto pos = tree.sorted_positions();
+  const auto perm = tree.perm();
+  std::vector<GravitySource> sources(n);
+  for (int t = 0; t < n; ++t) sources[t] = {pos[t], 1.0};
+
+  GravityKernel kernel;
+  std::vector<GravityAccum> a(n), b(n);
+  run_p2p(tree, lists.p2p, kernel, std::span<const GravitySource>(sources),
+          perm, GpuSystemConfig::uniform(1), std::span<GravityAccum>(a));
+  run_p2p(tree, lists.p2p, kernel, std::span<const GravitySource>(sources),
+          perm, GpuSystemConfig::uniform(4), std::span<GravityAccum>(b));
+  // Work is partitioned by whole target nodes, so per-target source order --
+  // and hence bitwise results -- are identical for any GPU count.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(a[i].pot, b[i].pot);
+    EXPECT_EQ(a[i].grad, b[i].grad);
+  }
+}
+
+TEST(P2PExecutor, MoreGpusReduceKernelTime) {
+  Rng rng(8);
+  const int n = 5000;
+  const auto pts = random_points(rng, n);
+  AdaptiveOctree tree;
+  tree.build(pts, unit_config(64));
+  const auto lists = build_interaction_lists(tree);
+  const auto pos = tree.sorted_positions();
+  const auto perm = tree.perm();
+  std::vector<GravitySource> sources(n);
+  for (int t = 0; t < n; ++t) sources[t] = {pos[t], 1.0};
+
+  GravityKernel kernel;
+  double prev = 1e30;
+  for (int g : {1, 2, 4}) {
+    std::vector<GravityAccum> out(n);
+    const auto res = run_p2p(tree, lists.p2p, kernel,
+                             std::span<const GravitySource>(sources), perm,
+                             GpuSystemConfig::uniform(g),
+                             std::span<GravityAccum>(out));
+    EXPECT_LT(res.max_kernel_seconds, prev) << "gpus=" << g;
+    prev = res.max_kernel_seconds;
+  }
+}
+
+TEST(P2PExecutor, CollectShapesSumsSources) {
+  Rng rng(9);
+  const auto pts = random_points(rng, 500);
+  AdaptiveOctree tree;
+  tree.build(pts, unit_config(30));
+  const auto lists = build_interaction_lists(tree);
+  std::vector<int> all(lists.p2p.size());
+  std::iota(all.begin(), all.end(), 0);
+  const auto shapes = collect_shapes(tree, lists.p2p, all);
+  ASSERT_EQ(shapes.size(), lists.p2p.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    EXPECT_EQ(shapes[i].targets, tree.node(lists.p2p[i].target).count);
+    total += static_cast<std::uint64_t>(shapes[i].targets) * shapes[i].sources;
+  }
+  EXPECT_EQ(total, lists.total_p2p_interactions);
+}
+
+}  // namespace
+}  // namespace afmm

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expansion/laplace_derivs.hpp"
+#include "util/rng.hpp"
+
+namespace afmm {
+namespace {
+
+// Central finite difference of D^alpha(1/r) one more derivative deep.
+double finite_diff(const MultiIndexSet& set, const LaplaceDerivatives& ld,
+                   const Vec3& r, int idx_lower, int d, double h) {
+  std::vector<double> plus(set.size()), minus(set.size());
+  Vec3 rp = r, rm = r;
+  rp[d] += h;
+  rm[d] -= h;
+  ld.evaluate(rp, plus.data());
+  ld.evaluate(rm, minus.data());
+  return (plus[idx_lower] - minus[idx_lower]) / (2.0 * h);
+}
+
+TEST(LaplaceDerivatives, ZeroOrderIsInverseDistance) {
+  MultiIndexSet set(0);
+  LaplaceDerivatives ld(set);
+  double out[1];
+  ld.evaluate({1, 2, 2}, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0 / 3.0);
+}
+
+TEST(LaplaceDerivatives, FirstDerivativesAnalytic) {
+  MultiIndexSet set(1);
+  LaplaceDerivatives ld(set);
+  Rng rng(3);
+  std::vector<double> out(set.size());
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec3 r{rng.uniform(0.5, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    ld.evaluate(r, out.data());
+    const double r3 = std::pow(norm(r), 3);
+    EXPECT_NEAR(out[set.find(1, 0, 0)], -r.x / r3, 1e-13);
+    EXPECT_NEAR(out[set.find(0, 1, 0)], -r.y / r3, 1e-13);
+    EXPECT_NEAR(out[set.find(0, 0, 1)], -r.z / r3, 1e-13);
+  }
+}
+
+TEST(LaplaceDerivatives, SecondDerivativesAnalytic) {
+  MultiIndexSet set(2);
+  LaplaceDerivatives ld(set);
+  const Vec3 r{0.7, -1.1, 0.4};
+  std::vector<double> out(set.size());
+  ld.evaluate(r, out.data());
+  const double n = norm(r);
+  const double r3 = n * n * n;
+  const double r5 = r3 * n * n;
+  EXPECT_NEAR(out[set.find(2, 0, 0)], 3 * r.x * r.x / r5 - 1 / r3, 1e-12);
+  EXPECT_NEAR(out[set.find(0, 2, 0)], 3 * r.y * r.y / r5 - 1 / r3, 1e-12);
+  EXPECT_NEAR(out[set.find(0, 0, 2)], 3 * r.z * r.z / r5 - 1 / r3, 1e-12);
+  EXPECT_NEAR(out[set.find(1, 1, 0)], 3 * r.x * r.y / r5, 1e-12);
+  EXPECT_NEAR(out[set.find(1, 0, 1)], 3 * r.x * r.z / r5, 1e-12);
+  EXPECT_NEAR(out[set.find(0, 1, 1)], 3 * r.y * r.z / r5, 1e-12);
+}
+
+class LaplaceDerivativesOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(LaplaceDerivativesOrder, MatchesFiniteDifferences) {
+  const int q = GetParam();
+  MultiIndexSet set(q);
+  LaplaceDerivatives ld(set);
+  Rng rng(q);
+  std::vector<double> out(set.size());
+  for (int trial = 0; trial < 5; ++trial) {
+    const Vec3 r{rng.uniform(1.0, 2.0), rng.uniform(-2.0, -1.0),
+                 rng.uniform(1.0, 2.0)};
+    ld.evaluate(r, out.data());
+    // Check each index of order >= 1 against a central difference of its
+    // predecessor.
+    for (int idx = 1; idx < set.size(); ++idx) {
+      const int d = set.pred_dim(idx);
+      const int lower = set.sub(idx, d);
+      const double fd = finite_diff(set, ld, r, lower, d, 1e-5);
+      const double scale = std::max(1.0, std::abs(out[idx]));
+      EXPECT_NEAR(out[idx], fd, 2e-4 * scale)
+          << "q=" << q << " idx=" << idx << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, LaplaceDerivativesOrder,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+class LaplaceHarmonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(LaplaceHarmonicity, EveryDerivativeIsHarmonic) {
+  // 1/r is harmonic away from the origin, hence so is every derivative:
+  // T_{a+2ex} + T_{a+2ey} + T_{a+2ez} = 0 for all |a| <= Q-2.
+  const int q = GetParam();
+  MultiIndexSet set(q);
+  LaplaceDerivatives ld(set);
+  Rng rng(100 + q);
+  std::vector<double> t(set.size());
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec3 r{rng.uniform(-2, 2), rng.uniform(0.3, 2), rng.uniform(-2, 2)};
+    ld.evaluate(r, t.data());
+    for (int idx = 0; idx < set.size(); ++idx) {
+      const auto& a = set[idx];
+      if (a.order() > q - 2) continue;
+      const int xx = set.find(a.i + 2, a.j, a.k);
+      const int yy = set.find(a.i, a.j + 2, a.k);
+      const int zz = set.find(a.i, a.j, a.k + 2);
+      const double lap = t[xx] + t[yy] + t[zz];
+      const double scale =
+          std::abs(t[xx]) + std::abs(t[yy]) + std::abs(t[zz]) + 1e-300;
+      EXPECT_LT(std::abs(lap) / scale, 1e-10) << "q=" << q << " idx=" << idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, LaplaceHarmonicity,
+                         ::testing::Values(4, 6, 8, 10, 12));
+
+TEST(LaplaceDerivatives, SymmetryUnderNegation) {
+  // D^a(1/r)(-r) = (-1)^|a| D^a(1/r)(r).
+  MultiIndexSet set(6);
+  LaplaceDerivatives ld(set);
+  std::vector<double> a(set.size()), b(set.size());
+  const Vec3 r{0.9, -0.3, 1.4};
+  ld.evaluate(r, a.data());
+  ld.evaluate(-r, b.data());
+  for (int idx = 0; idx < set.size(); ++idx) {
+    const double sign = set.order(idx) % 2 == 0 ? 1.0 : -1.0;
+    EXPECT_NEAR(b[idx], sign * a[idx],
+                1e-12 * std::max(1.0, std::abs(a[idx])));
+  }
+}
+
+TEST(LaplaceDerivatives, HomogeneityUnderScaling) {
+  // D^a(1/r) is homogeneous of degree -(|a|+1): T(s r) = s^-(|a|+1) T(r).
+  MultiIndexSet set(5);
+  LaplaceDerivatives ld(set);
+  std::vector<double> a(set.size()), b(set.size());
+  const Vec3 r{1.1, 0.4, -0.8};
+  const double s = 2.5;
+  ld.evaluate(r, a.data());
+  ld.evaluate(s * r, b.data());
+  for (int idx = 0; idx < set.size(); ++idx) {
+    const double expect = a[idx] * std::pow(s, -(set.order(idx) + 1));
+    EXPECT_NEAR(b[idx], expect, 1e-12 * std::max(1.0, std::abs(expect)));
+  }
+}
+
+TEST(LaplaceDerivatives, ThrowsAtOrigin) {
+  MultiIndexSet set(2);
+  LaplaceDerivatives ld(set);
+  std::vector<double> out(set.size());
+  EXPECT_THROW(ld.evaluate({0, 0, 0}, out.data()), std::domain_error);
+}
+
+}  // namespace
+}  // namespace afmm

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "expansion/multi_index.hpp"
+#include "util/rng.hpp"
+
+namespace afmm {
+namespace {
+
+double factorial(int n) {
+  double f = 1.0;
+  for (int i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+TEST(MultiIndexSet, CountFormula) {
+  for (int p = 0; p <= 10; ++p) {
+    MultiIndexSet set(p);
+    EXPECT_EQ(set.size(), MultiIndexSet::count(p)) << "p=" << p;
+    EXPECT_EQ(set.size(), (p + 1) * (p + 2) * (p + 3) / 6);
+  }
+}
+
+TEST(MultiIndexSet, EnumeratesAllIndicesOnce) {
+  const int p = 6;
+  MultiIndexSet set(p);
+  std::set<std::tuple<int, int, int>> seen;
+  for (int idx = 0; idx < set.size(); ++idx) {
+    const auto& a = set[idx];
+    EXPECT_LE(a.order(), p);
+    seen.insert({a.i, a.j, a.k});
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), set.size());
+}
+
+TEST(MultiIndexSet, GradedOrder) {
+  MultiIndexSet set(8);
+  for (int idx = 1; idx < set.size(); ++idx)
+    EXPECT_GE(set.order(idx), set.order(idx - 1));
+}
+
+TEST(MultiIndexSet, FindIsInverseOfEnumeration) {
+  MultiIndexSet set(7);
+  for (int idx = 0; idx < set.size(); ++idx) {
+    const auto& a = set[idx];
+    EXPECT_EQ(set.find(a.i, a.j, a.k), idx);
+  }
+  EXPECT_EQ(set.find(8, 0, 0), -1);
+  EXPECT_EQ(set.find(4, 4, 0), -1);
+  EXPECT_EQ(set.find(-1, 0, 0), -1);
+}
+
+TEST(MultiIndexSet, SubTables) {
+  MultiIndexSet set(5);
+  for (int idx = 0; idx < set.size(); ++idx) {
+    const auto& a = set[idx];
+    const int e[3] = {a.i, a.j, a.k};
+    for (int d = 0; d < 3; ++d) {
+      const int s1 = set.sub(idx, d);
+      if (e[d] >= 1) {
+        ASSERT_GE(s1, 0);
+        EXPECT_EQ(set[s1][d], e[d] - 1);
+        EXPECT_EQ(set[s1].order(), a.order() - 1);
+      } else {
+        EXPECT_EQ(s1, -1);
+      }
+      const int s2 = set.sub2(idx, d);
+      if (e[d] >= 2) {
+        ASSERT_GE(s2, 0);
+        EXPECT_EQ(set[s2][d], e[d] - 2);
+      } else {
+        EXPECT_EQ(s2, -1);
+      }
+    }
+  }
+}
+
+TEST(MultiIndexSet, PredDimIsFirstNonzero) {
+  MultiIndexSet set(4);
+  EXPECT_EQ(set.pred_dim(0), -1);
+  for (int idx = 1; idx < set.size(); ++idx) {
+    const int d = set.pred_dim(idx);
+    ASSERT_GE(d, 0);
+    EXPECT_GT(set[idx][d], 0);
+    for (int dd = 0; dd < d; ++dd) EXPECT_EQ(set[idx][dd], 0);
+  }
+}
+
+TEST(MultiIndexSet, ScaledPowersMatchDirectEvaluation) {
+  Rng rng(21);
+  const int p = 6;
+  MultiIndexSet set(p);
+  std::vector<double> t(set.size());
+  for (int trial = 0; trial < 20; ++trial) {
+    const double v[3] = {rng.uniform(-2, 2), rng.uniform(-2, 2),
+                         rng.uniform(-2, 2)};
+    set.scaled_powers(v, t.data());
+    for (int idx = 0; idx < set.size(); ++idx) {
+      const auto& a = set[idx];
+      const double expect = std::pow(v[0], a.i) * std::pow(v[1], a.j) *
+                            std::pow(v[2], a.k) /
+                            (factorial(a.i) * factorial(a.j) * factorial(a.k));
+      EXPECT_NEAR(t[idx], expect, 1e-12 * std::max(1.0, std::abs(expect)))
+          << "idx=" << idx;
+    }
+  }
+}
+
+TEST(MultiIndexSet, ScaledPowersBinomialProperty) {
+  // Scaled powers of (u + v) are the convolution of those of u and v --
+  // the identity M2M and L2L rest on.
+  Rng rng(22);
+  const int p = 5;
+  MultiIndexSet set(p);
+  std::vector<double> tu(set.size()), tv(set.size()), tw(set.size());
+  const double u[3] = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                       rng.uniform(-1, 1)};
+  const double v[3] = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                       rng.uniform(-1, 1)};
+  const double w[3] = {u[0] + v[0], u[1] + v[1], u[2] + v[2]};
+  set.scaled_powers(u, tu.data());
+  set.scaled_powers(v, tv.data());
+  set.scaled_powers(w, tw.data());
+  for (int b = 0; b < set.size(); ++b) {
+    const auto& beta = set[b];
+    double conv = 0.0;
+    for (int a = 0; a < set.size(); ++a) {
+      const auto& alpha = set[a];
+      if (alpha.i <= beta.i && alpha.j <= beta.j && alpha.k <= beta.k) {
+        const int rest =
+            set.find(beta.i - alpha.i, beta.j - alpha.j, beta.k - alpha.k);
+        conv += tu[a] * tv[rest];
+      }
+    }
+    EXPECT_NEAR(tw[b], conv, 1e-12 * std::max(1.0, std::abs(conv)));
+  }
+}
+
+TEST(MultiIndexSet, RejectsBadOrder) {
+  EXPECT_THROW(MultiIndexSet(-1), std::invalid_argument);
+  EXPECT_THROW(MultiIndexSet(41), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace afmm

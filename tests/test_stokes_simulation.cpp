@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stokes_simulation.hpp"
+#include "dist/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace afmm {
+namespace {
+
+StokesSimulationConfig base_config() {
+  StokesSimulationConfig cfg;
+  cfg.fmm.order = 4;
+  cfg.tree.root_center = {0, 0, 0};
+  cfg.tree.root_half = 8.0;
+  cfg.epsilon = 0.05;
+  cfg.viscosity = 1.0;
+  cfg.dt = 1e-3;
+  cfg.balancer.initial_S = 32;
+  return cfg;
+}
+
+std::vector<Vec3> blob(Rng& rng, int n, const Vec3& center, double radius) {
+  std::vector<Vec3> pos;
+  while (static_cast<int>(pos.size()) < n) {
+    Vec3 p{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    if (norm2(p) <= 1.0) pos.push_back(center + radius * p);
+  }
+  return pos;
+}
+
+TEST(StokesSimulation, BlobSettlesAlongTheForce) {
+  Rng rng(91);
+  auto pos = blob(rng, 800, {0, 0, 4}, 1.0);
+  NodeSimulator node(CpuModelConfig{}, GpuSystemConfig::uniform(2));
+  StokesSimulation sim(base_config(), node, pos, constant_force({0, 0, -1}));
+
+  auto com_z = [&]() {
+    double z = 0;
+    for (const auto& p : sim.positions()) z += p.z;
+    return z / static_cast<double>(sim.positions().size());
+  };
+  const double z0 = com_z();
+  sim.run(10);
+  EXPECT_LT(com_z(), z0);  // the cloud falls
+  // All velocities point (mostly) downward on average.
+  double vz = 0;
+  for (const auto& v : sim.velocities()) vz += v.z;
+  EXPECT_LT(vz, 0.0);
+}
+
+TEST(StokesSimulation, CollectiveSettlingFasterThanSingleParticle) {
+  // Hydrodynamic interactions make a blob settle faster than an isolated
+  // Stokeslet: |u_com| > f/(8 pi mu) * (2 eps^2/eps^3 scale) of one particle.
+  Rng rng(92);
+  auto pos = blob(rng, 600, {0, 0, 4}, 0.5);
+  auto cfg = base_config();
+  NodeSimulator node(CpuModelConfig{}, GpuSystemConfig::uniform(1));
+  StokesSimulation sim(cfg, node, pos, constant_force({0, 0, -1}));
+  sim.step();
+  double vz = 0;
+  for (const auto& v : sim.velocities()) vz += v.z;
+  vz /= static_cast<double>(sim.velocities().size());
+
+  // Isolated regularized particle: u = 2/(8 pi mu eps).
+  const double single = 2.0 / (8.0 * M_PI * cfg.viscosity * cfg.epsilon);
+  EXPECT_LT(vz, -single);  // faster (more negative) than alone
+}
+
+TEST(StokesSimulation, RecordsPopulatedAndBalancerEngages) {
+  Rng rng(93);
+  auto pos = blob(rng, 2000, {0, 0, 3}, 1.0);
+  NodeSimulator node(CpuModelConfig{}, GpuSystemConfig::uniform(2));
+  StokesSimulation sim(base_config(), node, pos, constant_force({0, 0, -1}));
+  const auto recs = sim.run(12);
+  ASSERT_EQ(recs.size(), 12u);
+  for (const auto& r : recs) {
+    EXPECT_GT(r.compute_seconds, 0.0);
+    EXPECT_GT(r.S, 0);
+  }
+  // The balancer must have left the initial state by now.
+  EXPECT_NE(recs.back().state, LbState::kSearch);
+}
+
+TEST(StokesSimulation, CustomForceModelIsUsed) {
+  // Zero forces -> zero velocities -> nothing moves.
+  Rng rng(94);
+  auto pos = blob(rng, 200, {0, 0, 0}, 1.0);
+  const auto before = pos;
+  NodeSimulator node(CpuModelConfig{}, GpuSystemConfig::uniform(1));
+  StokesSimulation sim(base_config(), node, pos, constant_force({0, 0, 0}));
+  sim.run(3);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(sim.positions()[i], before[i]);
+}
+
+}  // namespace
+}  // namespace afmm

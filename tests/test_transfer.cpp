@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/transfer.hpp"
+
+namespace afmm {
+namespace {
+
+TEST(Transfer, ZeroBytesIsFree) {
+  TransferLinkConfig link;
+  EXPECT_DOUBLE_EQ(transfer_seconds(link, 0), 0.0);
+}
+
+TEST(Transfer, LatencyPlusBandwidth) {
+  TransferLinkConfig link;
+  link.bandwidth_gbs = 5.0;
+  link.latency_us = 10.0;
+  EXPECT_NEAR(transfer_seconds(link, 5'000'000'000ull), 1.0 + 1e-5, 1e-9);
+  EXPECT_NEAR(transfer_seconds(link, 1), 1e-5, 1e-9);
+}
+
+TEST(Transfer, StepTimelineOverlapsCpuAndGpu) {
+  TransferLinkConfig link;
+  link.host_launch_us = 5.0;
+  std::vector<GpuTransferShape> gpus(2);
+  gpus[0] = {1'000'000, 500'000, 0.010};
+  gpus[1] = {1'000'000, 500'000, 0.020};
+  const auto tl = plan_step(link, gpus);
+
+  // GPU side: slowest = upload(1MB) + 20ms kernel.
+  const double upload = transfer_seconds(link, 1'000'000);
+  EXPECT_NEAR(tl.gpu_done_seconds, upload + 0.020, 1e-12);
+  // Downloads overlap across GPUs: cost of the slowest single download.
+  EXPECT_NEAR(tl.download_seconds, transfer_seconds(link, 500'000), 1e-12);
+
+  // CPU-bound step: GPU time hides entirely under the CPU far field.
+  const double cpu = 0.050;
+  EXPECT_NEAR(tl.step_seconds(cpu),
+              tl.launch_seconds + cpu + tl.download_seconds, 1e-12);
+  // GPU-bound step: CPU hides under the GPU interval.
+  EXPECT_NEAR(tl.step_seconds(0.001),
+              tl.launch_seconds + tl.gpu_done_seconds + tl.download_seconds,
+              1e-12);
+}
+
+TEST(Transfer, LaunchCostScalesWithGpuCount) {
+  TransferLinkConfig link;
+  link.host_launch_us = 5.0;
+  const auto one = plan_step(link, std::vector<GpuTransferShape>(1));
+  const auto four = plan_step(link, std::vector<GpuTransferShape>(4));
+  EXPECT_NEAR(four.launch_seconds, 4.0 * one.launch_seconds, 1e-15);
+}
+
+TEST(Transfer, GravityShapeByteAccounting) {
+  const auto s = gravity_transfer_shape(1000, 600, 50, 0.01);
+  EXPECT_EQ(s.upload_bytes, 1000u * 4 * 8 + 50u * 2 * 4);
+  EXPECT_EQ(s.download_bytes, 600u * 4 * 8);
+  EXPECT_DOUBLE_EQ(s.kernel_seconds, 0.01);
+}
+
+TEST(Transfer, SmallTransfersReduceToMaxCpuGpu) {
+  // With negligible byte counts the step time collapses to the paper's
+  // Compute Time = max(CPU, GPU) plus launch overhead.
+  TransferLinkConfig link;
+  link.latency_us = 0.0;
+  link.host_launch_us = 0.0;
+  std::vector<GpuTransferShape> gpus{{0, 0, 0.02}};
+  const auto tl = plan_step(link, gpus);
+  EXPECT_DOUBLE_EQ(tl.step_seconds(0.05), 0.05);
+  EXPECT_DOUBLE_EQ(tl.step_seconds(0.005), 0.02);
+}
+
+}  // namespace
+}  // namespace afmm
