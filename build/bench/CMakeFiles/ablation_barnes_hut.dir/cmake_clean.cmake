@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_barnes_hut.dir/ablation_barnes_hut.cpp.o"
+  "CMakeFiles/ablation_barnes_hut.dir/ablation_barnes_hut.cpp.o.d"
+  "ablation_barnes_hut"
+  "ablation_barnes_hut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_barnes_hut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_m2p_p2l.dir/ablation_m2p_p2l.cpp.o"
+  "CMakeFiles/ablation_m2p_p2l.dir/ablation_m2p_p2l.cpp.o.d"
+  "ablation_m2p_p2l"
+  "ablation_m2p_p2l.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_m2p_p2l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_m2p_p2l.
+# This may be replaced when dependencies are built.

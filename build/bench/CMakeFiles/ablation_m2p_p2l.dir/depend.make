@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_m2p_p2l.
+# This may be replaced when dependencies are built.

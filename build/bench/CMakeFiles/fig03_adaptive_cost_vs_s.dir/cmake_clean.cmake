@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_adaptive_cost_vs_s.dir/fig03_adaptive_cost_vs_s.cpp.o"
+  "CMakeFiles/fig03_adaptive_cost_vs_s.dir/fig03_adaptive_cost_vs_s.cpp.o.d"
+  "fig03_adaptive_cost_vs_s"
+  "fig03_adaptive_cost_vs_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_adaptive_cost_vs_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

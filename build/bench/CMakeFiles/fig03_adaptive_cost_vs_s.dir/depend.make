@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_adaptive_cost_vs_s.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_uniform_gap.dir/fig04_uniform_gap.cpp.o"
+  "CMakeFiles/fig04_uniform_gap.dir/fig04_uniform_gap.cpp.o.d"
+  "fig04_uniform_gap"
+  "fig04_uniform_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_uniform_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

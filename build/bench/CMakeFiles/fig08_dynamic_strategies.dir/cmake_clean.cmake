@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dynamic_strategies.dir/fig08_dynamic_strategies.cpp.o"
+  "CMakeFiles/fig08_dynamic_strategies.dir/fig08_dynamic_strategies.cpp.o.d"
+  "fig08_dynamic_strategies"
+  "fig08_dynamic_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dynamic_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_finegrained_uniform.dir/fig10_finegrained_uniform.cpp.o"
+  "CMakeFiles/fig10_finegrained_uniform.dir/fig10_finegrained_uniform.cpp.o.d"
+  "fig10_finegrained_uniform"
+  "fig10_finegrained_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_finegrained_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

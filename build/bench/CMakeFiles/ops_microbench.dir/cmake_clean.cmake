@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_microbench.dir/ops_microbench.cpp.o"
+  "CMakeFiles/ops_microbench.dir/ops_microbench.cpp.o.d"
+  "ops_microbench"
+  "ops_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

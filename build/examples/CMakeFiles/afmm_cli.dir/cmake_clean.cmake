@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afmm_cli.dir/afmm_cli.cpp.o"
+  "CMakeFiles/afmm_cli.dir/afmm_cli.cpp.o.d"
+  "afmm_cli"
+  "afmm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afmm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stokes_fiber.dir/stokes_fiber.cpp.o"
+  "CMakeFiles/stokes_fiber.dir/stokes_fiber.cpp.o.d"
+  "stokes_fiber"
+  "stokes_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stokes_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

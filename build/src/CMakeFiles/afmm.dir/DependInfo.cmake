@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/balance/cost_model.cpp" "src/CMakeFiles/afmm.dir/balance/cost_model.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/balance/cost_model.cpp.o.d"
+  "/root/repo/src/balance/load_balancer.cpp" "src/CMakeFiles/afmm.dir/balance/load_balancer.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/balance/load_balancer.cpp.o.d"
+  "/root/repo/src/core/barnes_hut.cpp" "src/CMakeFiles/afmm.dir/core/barnes_hut.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/core/barnes_hut.cpp.o.d"
+  "/root/repo/src/core/fmm_solver.cpp" "src/CMakeFiles/afmm.dir/core/fmm_solver.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/core/fmm_solver.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/afmm.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/core/simulation.cpp.o.d"
+  "/root/repo/src/core/stokes_simulation.cpp" "src/CMakeFiles/afmm.dir/core/stokes_simulation.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/core/stokes_simulation.cpp.o.d"
+  "/root/repo/src/cpusched/task_sim.cpp" "src/CMakeFiles/afmm.dir/cpusched/task_sim.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/cpusched/task_sim.cpp.o.d"
+  "/root/repo/src/dist/distributions.cpp" "src/CMakeFiles/afmm.dir/dist/distributions.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/dist/distributions.cpp.o.d"
+  "/root/repo/src/expansion/laplace_derivs.cpp" "src/CMakeFiles/afmm.dir/expansion/laplace_derivs.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/expansion/laplace_derivs.cpp.o.d"
+  "/root/repo/src/expansion/multi_index.cpp" "src/CMakeFiles/afmm.dir/expansion/multi_index.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/expansion/multi_index.cpp.o.d"
+  "/root/repo/src/expansion/operators.cpp" "src/CMakeFiles/afmm.dir/expansion/operators.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/expansion/operators.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_model.cpp" "src/CMakeFiles/afmm.dir/gpusim/gpu_model.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/gpusim/gpu_model.cpp.o.d"
+  "/root/repo/src/gpusim/p2p_executor.cpp" "src/CMakeFiles/afmm.dir/gpusim/p2p_executor.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/gpusim/p2p_executor.cpp.o.d"
+  "/root/repo/src/gpusim/partition.cpp" "src/CMakeFiles/afmm.dir/gpusim/partition.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/gpusim/partition.cpp.o.d"
+  "/root/repo/src/gpusim/transfer.cpp" "src/CMakeFiles/afmm.dir/gpusim/transfer.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/gpusim/transfer.cpp.o.d"
+  "/root/repo/src/kernels/gravity.cpp" "src/CMakeFiles/afmm.dir/kernels/gravity.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/kernels/gravity.cpp.o.d"
+  "/root/repo/src/kernels/stokeslet.cpp" "src/CMakeFiles/afmm.dir/kernels/stokeslet.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/kernels/stokeslet.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/afmm.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/octree/octree.cpp" "src/CMakeFiles/afmm.dir/octree/octree.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/octree/octree.cpp.o.d"
+  "/root/repo/src/octree/traversal.cpp" "src/CMakeFiles/afmm.dir/octree/traversal.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/octree/traversal.cpp.o.d"
+  "/root/repo/src/util/morton.cpp" "src/CMakeFiles/afmm.dir/util/morton.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/util/morton.cpp.o.d"
+  "/root/repo/src/util/op_timers.cpp" "src/CMakeFiles/afmm.dir/util/op_timers.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/util/op_timers.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/afmm.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/afmm.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/vec3.cpp" "src/CMakeFiles/afmm.dir/util/vec3.cpp.o" "gcc" "src/CMakeFiles/afmm.dir/util/vec3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

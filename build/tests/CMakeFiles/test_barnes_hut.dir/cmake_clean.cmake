@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barnes_hut.dir/test_barnes_hut.cpp.o"
+  "CMakeFiles/test_barnes_hut.dir/test_barnes_hut.cpp.o.d"
+  "test_barnes_hut"
+  "test_barnes_hut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barnes_hut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

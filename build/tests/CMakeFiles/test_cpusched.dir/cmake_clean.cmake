@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpusched.dir/test_cpusched.cpp.o"
+  "CMakeFiles/test_cpusched.dir/test_cpusched.cpp.o.d"
+  "test_cpusched"
+  "test_cpusched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpusched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

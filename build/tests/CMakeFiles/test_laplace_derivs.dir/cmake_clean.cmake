@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_laplace_derivs.dir/test_laplace_derivs.cpp.o"
+  "CMakeFiles/test_laplace_derivs.dir/test_laplace_derivs.cpp.o.d"
+  "test_laplace_derivs"
+  "test_laplace_derivs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_laplace_derivs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_index.dir/test_multi_index.cpp.o"
+  "CMakeFiles/test_multi_index.dir/test_multi_index.cpp.o.d"
+  "test_multi_index"
+  "test_multi_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op_timers.dir/test_op_timers.cpp.o"
+  "CMakeFiles/test_op_timers.dir/test_op_timers.cpp.o.d"
+  "test_op_timers"
+  "test_op_timers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

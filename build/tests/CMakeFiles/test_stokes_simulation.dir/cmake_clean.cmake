@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stokes_simulation.dir/test_stokes_simulation.cpp.o"
+  "CMakeFiles/test_stokes_simulation.dir/test_stokes_simulation.cpp.o.d"
+  "test_stokes_simulation"
+  "test_stokes_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stokes_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

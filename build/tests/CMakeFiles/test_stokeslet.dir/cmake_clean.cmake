@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stokeslet.dir/test_stokeslet.cpp.o"
+  "CMakeFiles/test_stokeslet.dir/test_stokeslet.cpp.o.d"
+  "test_stokeslet"
+  "test_stokeslet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stokeslet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
