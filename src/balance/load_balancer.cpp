@@ -49,8 +49,8 @@ void LoadBalancer::rebuild(AdaptiveOctree& tree,
 }
 
 OpCounts LoadBalancer::dry_run(const AdaptiveOctree& tree) const {
-  const auto lists = build_interaction_lists(tree, traversal_);
-  return count_operations(tree, lists);
+  if (cache_) return count_operations(tree, cache_->get(tree, traversal_));
+  return count_operations(tree, build_interaction_lists(tree, traversal_));
 }
 
 int LoadBalancer::fine_grained_optimize(AdaptiveOctree& tree,
@@ -100,14 +100,19 @@ int LoadBalancer::fine_grained_optimize(AdaptiveOctree& tree,
     const int k = std::min<int>(config_.fgo_batch,
                                 static_cast<int>(candidates.size()));
     std::vector<int> applied(candidates.begin(), candidates.begin() + k);
+
+    // Incremental recount: collapse/push_down only reroute traversal pairs
+    // touching the modified subtrees, so the batch's exact OpCounts delta is
+    // (after - before) over that region -- no full dry_run per batch.
+    OpCounts before = count_operations_touching(tree, applied, traversal_);
     for (int id : applied) {
       if (cpu_heavy)
         tree.collapse(id);
       else
         tree.push_down(id);
     }
-
-    counts = dry_run(tree);
+    counts += count_operations_touching(tree, applied, traversal_);
+    counts -= before;
     const double predicted = model_.predict_compute(counts, cores);
     r.lb_seconds += node.enforce_seconds(k, tree.num_bodies());
 
@@ -117,7 +122,8 @@ int LoadBalancer::fine_grained_optimize(AdaptiveOctree& tree,
       continue;
     }
     // The batch made things worse: revert it (collapse and push_down are
-    // exact inverses on an unchanged body set) and stop.
+    // exact inverses on an unchanged body set) and fall back to a full
+    // recount, which also re-primes the shared list cache for the solve.
     for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
       if (cpu_heavy)
         tree.push_down(*it);
@@ -218,9 +224,9 @@ void LoadBalancer::step_incremental(AdaptiveOctree& tree,
     // The dominant computational unit flipped: the transitional S is found.
     if (!gap_ok(observed) && config_.enable_fgo)
       fine_grained_optimize(tree, node, r);
-    best_compute_ = std::min(observed.compute_seconds(),
-                             best_compute_ < 0 ? observed.compute_seconds()
-                                               : best_compute_);
+    best_compute_ = best_compute_ < 0.0
+                        ? observed.compute_seconds()
+                        : std::min(observed.compute_seconds(), best_compute_);
     state_ = LbState::kObservation;
     last_dominant_ = 0;
     return;

@@ -29,6 +29,7 @@
 
 #include "balance/cost_model.hpp"
 #include "machine/machine.hpp"
+#include "octree/list_cache.hpp"
 #include "octree/octree.hpp"
 #include "octree/traversal.hpp"
 
@@ -87,6 +88,11 @@ class LoadBalancer {
   LbState state() const { return state_; }
   const CostModel& cost_model() const { return model_; }
 
+  // Share an interaction-list cache (typically the solver's) so dry runs
+  // reuse the last solve's traversal and vice versa; nullptr (the default)
+  // builds lists fresh on every dry run.
+  void set_list_cache(InteractionListCache* cache) { cache_ = cache; }
+
  private:
   bool gap_ok(const ObservedStepTimes& t) const;
   void rebuild(AdaptiveOctree& tree, std::span<const Vec3> positions,
@@ -110,6 +116,7 @@ class LoadBalancer {
   LoadBalancerConfig config_;
   TraversalConfig traversal_;
   CostModel model_;
+  InteractionListCache* cache_ = nullptr;
   LbState state_ = LbState::kSearch;
   int s_;
 

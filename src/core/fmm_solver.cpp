@@ -180,7 +180,8 @@ GravityResult GravitySolver::solve(const AdaptiveOctree& tree,
       positions.size() != tree.num_bodies())
     throw std::invalid_argument("GravitySolver::solve: size mismatch");
 
-  const auto lists = build_interaction_lists(tree, far_.config().traversal);
+  auto& cache = external_cache_ ? *external_cache_ : own_cache_;
+  const InteractionLists& lists = cache.get(tree, far_.config().traversal);
 
   std::vector<double> q_tree;
   tree.gather(charges, q_tree);
@@ -228,7 +229,8 @@ StokesletResult StokesletSolver::solve(const AdaptiveOctree& tree,
       positions.size() != tree.num_bodies())
     throw std::invalid_argument("StokesletSolver::solve: size mismatch");
 
-  const auto lists = build_interaction_lists(tree, far_.config().traversal);
+  auto& cache = external_cache_ ? *external_cache_ : own_cache_;
+  const InteractionLists& lists = cache.get(tree, far_.config().traversal);
   const auto pos = tree.sorted_positions();
   const auto perm = tree.perm();
   const std::size_t n = tree.num_bodies();

@@ -25,6 +25,7 @@
 #include "kernels/gravity.hpp"
 #include "kernels/stokeslet.hpp"
 #include "machine/machine.hpp"
+#include "octree/list_cache.hpp"
 #include "octree/octree.hpp"
 #include "octree/traversal.hpp"
 #include "util/op_timers.hpp"
@@ -96,10 +97,20 @@ class GravitySolver {
   const NodeSimulator& node() const { return node_; }
   const GravityKernel& kernel() const { return kernel_; }
 
+  // Share an external interaction-list cache (e.g. with the load balancer so
+  // its dry runs and the next solve reuse one traversal); nullptr returns to
+  // the solver-owned cache. The pointee must outlive the solver's use.
+  void set_list_cache(InteractionListCache* cache) { external_cache_ = cache; }
+  const InteractionListCache& list_cache() const {
+    return external_cache_ ? *external_cache_ : own_cache_;
+  }
+
  private:
   HarmonicFarField far_;
   NodeSimulator node_;
   GravityKernel kernel_;
+  mutable InteractionListCache own_cache_;
+  InteractionListCache* external_cache_ = nullptr;
 };
 
 struct StokesletResult {
@@ -121,10 +132,18 @@ class StokesletSolver {
   const HarmonicFarField& far_field() const { return far_; }
   NodeSimulator& node() { return node_; }
 
+  // See GravitySolver::set_list_cache.
+  void set_list_cache(InteractionListCache* cache) { external_cache_ = cache; }
+  const InteractionListCache& list_cache() const {
+    return external_cache_ ? *external_cache_ : own_cache_;
+  }
+
  private:
   HarmonicFarField far_;
   NodeSimulator node_;
   StokesletKernel kernel_;
+  mutable InteractionListCache own_cache_;
+  InteractionListCache* external_cache_ = nullptr;
 };
 
 SolveStats make_stats(const AdaptiveOctree& tree,

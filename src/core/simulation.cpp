@@ -8,6 +8,8 @@ GravitySimulation::GravitySimulation(const SimulationConfig& config,
       solver_(config.fmm, std::move(node), GravityKernel(config.softening)),
       balancer_(config.balancer, config.fmm.traversal),
       bodies_(std::move(bodies)) {
+  solver_.set_list_cache(&list_cache_);
+  balancer_.set_list_cache(&list_cache_);
   TreeConfig tc = config_.tree;
   tc.leaf_capacity = config_.balancer.initial_S;
   tree_.build(bodies_.positions, tc);

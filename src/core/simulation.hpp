@@ -62,6 +62,10 @@ class GravitySimulation {
   const LoadBalancer& balancer() const { return balancer_; }
   int steps_taken() const { return step_count_; }
 
+  // The interaction-list cache shared by the solver and the balancer: one
+  // traversal per structure change, zero when the structure is stable.
+  const InteractionListCache& list_cache() const { return list_cache_; }
+
   // Total energy (kinetic + potential) from the last solve; a diagnostic
   // for the integrator tests. Uses the softened potential.
   double total_energy() const;
@@ -70,6 +74,7 @@ class GravitySimulation {
   void initial_solve();
 
   SimulationConfig config_;
+  InteractionListCache list_cache_;
   GravitySolver solver_;
   LoadBalancer balancer_;
   ParticleSet bodies_;

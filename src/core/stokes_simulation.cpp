@@ -22,6 +22,8 @@ StokesSimulation::StokesSimulation(const StokesSimulationConfig& config,
       positions_(std::move(positions)),
       velocities_(positions_.size()),
       forces_(positions_.size()) {
+  solver_.set_list_cache(&list_cache_);
+  balancer_.set_list_cache(&list_cache_);
   TreeConfig tc = config_.tree;
   tc.leaf_capacity = config_.balancer.initial_S;
   tree_.build(positions_, tc);

@@ -50,9 +50,11 @@ class StokesSimulation {
   const std::vector<Vec3>& velocities() const { return velocities_; }
   const AdaptiveOctree& tree() const { return tree_; }
   const LoadBalancer& balancer() const { return balancer_; }
+  const InteractionListCache& list_cache() const { return list_cache_; }
 
  private:
   StokesSimulationConfig config_;
+  InteractionListCache list_cache_;
   StokesletSolver solver_;
   LoadBalancer balancer_;
   ForceModel force_model_;

@@ -24,10 +24,13 @@ std::vector<std::vector<int>> partition_p2p_work(
         count += static_cast<double>(work[i].interactions);
         // "When the count meets or exceeds the total number of direct
         // interactions divided by the number of GPUs we start counting work
-        // to send to the next GPU."
+        // to send to the next GPU." The overshoot past the share is carried
+        // into the next GPU's count: resetting to zero instead grants every
+        // GPU a full fresh share after an oversized item, systematically
+        // starving the last GPU of the accumulated difference.
         if (count >= share && gpu + 1 < num_gpus) {
           ++gpu;
-          count = 0.0;
+          count -= share;
         }
       }
       break;

@@ -1,0 +1,52 @@
+#include "octree/list_cache.hpp"
+
+namespace afmm {
+
+bool InteractionListCache::usable(const AdaptiveOctree& tree,
+                                  const TraversalConfig& config) const {
+  if (!valid_ || structure_version_ != tree.structure_version() ||
+      !config_.same_lists_as(config))
+    return false;
+  if (content_version_ == tree.content_version()) return true;
+
+  // Bodies were rebinned inside the same structure. The walk is count-blind
+  // except for empty-box pruning and the extension thresholds.
+  if (config.use_m2p_p2l) return false;
+  for (int i = 0; i < tree.num_nodes(); ++i)
+    if (empty_at_build_[i] != (tree.node(i).count == 0)) return false;
+  return true;
+}
+
+const InteractionLists& InteractionListCache::get(
+    const AdaptiveOctree& tree, const TraversalConfig& config) {
+  if (usable(tree, config)) {
+    if (content_version_ != tree.content_version()) {
+      // Same structure, moved bodies: refresh Interactions(t) in O(pairs).
+      lists_.total_p2p_interactions = 0;
+      for (auto& w : lists_.p2p) {
+        std::uint64_t srcs = 0;
+        for (int s : w.sources) srcs += tree.node(s).count;
+        w.interactions =
+            static_cast<std::uint64_t>(tree.node(w.target).count) * srcs;
+        lists_.total_p2p_interactions += w.interactions;
+      }
+      content_version_ = tree.content_version();
+      ++refreshes_;
+    }
+    ++hits_;
+    return lists_;
+  }
+
+  lists_ = build_interaction_lists(tree, config);
+  config_ = config;
+  structure_version_ = tree.structure_version();
+  content_version_ = tree.content_version();
+  empty_at_build_.assign(static_cast<std::size_t>(tree.num_nodes()), 0);
+  for (int i = 0; i < tree.num_nodes(); ++i)
+    empty_at_build_[i] = tree.node(i).count == 0;
+  valid_ = true;
+  ++builds_;
+  return lists_;
+}
+
+}  // namespace afmm

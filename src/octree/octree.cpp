@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
@@ -23,7 +24,21 @@ Vec3 child_center(const Vec3& c, double half, int octant) {
   return {c.x + ((octant & 1) ? q : -q), c.y + ((octant & 2) ? q : -q),
           c.z + ((octant & 4) ? q : -q)};
 }
+
+// Process-wide stamp source: version numbers are never reused, even across
+// distinct trees, so a stamp fully identifies one structure snapshot.
+std::uint64_t next_version_stamp() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 }  // namespace
+
+void AdaptiveOctree::bump_structure() {
+  structure_version_ = next_version_stamp();
+  content_version_ = structure_version_;
+}
+
+void AdaptiveOctree::bump_content() { content_version_ = next_version_stamp(); }
 
 // Local result of a recursive build task: a self-contained subtree whose
 // root is nodes[0] and whose child links are indices into the same vector.
@@ -143,6 +158,7 @@ void AdaptiveOctree::build(std::span<const Vec3> positions,
   result = build_rec(build_rec, 0, n, config_.root_center, config_.root_half, 0);
 
   nodes_ = std::move(result.nodes);
+  bump_structure();
 }
 
 void AdaptiveOctree::build_uniform(std::span<const Vec3> positions,
@@ -183,6 +199,7 @@ void AdaptiveOctree::build_uniform(std::span<const Vec3> positions,
     return id;
   };
   build_rec(build_rec, 0, n, config_.root_center, config_.root_half, 0);
+  bump_structure();
 }
 
 void AdaptiveOctree::rebin(std::span<const Vec3> positions) {
@@ -201,6 +218,7 @@ void AdaptiveOctree::rebin(std::span<const Vec3> positions) {
     for (int c : nodes_[id].children) self(self, c);
   };
   visit(visit, root());
+  bump_content();
 }
 
 void AdaptiveOctree::repartition_into_children(int id) {
@@ -218,6 +236,7 @@ void AdaptiveOctree::collapse(int id) {
   if (is_effective_leaf(id))
     throw std::logic_error("collapse: node is already an effective leaf");
   nodes_[id].collapsed = true;
+  bump_structure();
 }
 
 bool AdaptiveOctree::push_down(int id) {
@@ -240,6 +259,7 @@ bool AdaptiveOctree::push_down(int id) {
     parent.collapsed = false;
   }
   repartition_into_children(id);
+  bump_structure();
   return true;
 }
 

@@ -95,6 +95,19 @@ class AdaptiveOctree {
     return !n.has_children || n.collapsed;
   }
 
+  // Monotone stamp identifying the EFFECTIVE STRUCTURE of this tree: which
+  // nodes exist, their geometry and their collapsed flags. Bumped by build(),
+  // build_uniform(), collapse(), push_down() and (through those) enforce_S().
+  // rebin() does NOT bump it: rebinning reassigns bodies within the existing
+  // structure. Stamps are unique across every tree in the process, so equal
+  // stamps mean the exact same structure (consumers like InteractionListCache
+  // key on the stamp alone).
+  std::uint64_t structure_version() const { return structure_version_; }
+
+  // Stamp for the body content (spans + permutation): bumped whenever the
+  // structure stamp is, and additionally by rebin().
+  std::uint64_t content_version() const { return content_version_; }
+
   // Number of bodies (== size of the permutation).
   std::size_t num_bodies() const { return perm_.size(); }
 
@@ -134,6 +147,9 @@ class AdaptiveOctree {
  private:
   struct Subtree;  // local build result, defined in octree.cpp
 
+  void bump_structure();
+  void bump_content();
+
   void partition_range(std::uint32_t begin, std::uint32_t end,
                        const Vec3& center, std::uint32_t bucket_begin[9]);
   void rebin_node(int node);
@@ -141,6 +157,8 @@ class AdaptiveOctree {
   void repartition_into_children(int node);
 
   TreeConfig config_;
+  std::uint64_t structure_version_ = 0;
+  std::uint64_t content_version_ = 0;
   std::vector<OctreeNode> nodes_;
   std::vector<Vec3> sorted_pos_;
   std::vector<std::uint32_t> perm_;

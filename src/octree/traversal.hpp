@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "octree/octree.hpp"
@@ -34,6 +35,19 @@ struct TraversalConfig {
   bool use_m2p_p2l = false;
   int m2p_target_max = 4;  // max bodies in a target leaf for M2P
   int p2l_source_max = 4;  // max bodies in a source leaf for P2L
+
+  // Build the lists with OpenMP tasks (per-task pair buffers merged in child
+  // order, so the output is bit-identical to the serial walk). Disable to
+  // force the serial reference walk.
+  bool parallel = true;
+
+  // True when `o` produces the same lists on the same structure; the
+  // `parallel` flag does not affect the output and is ignored.
+  bool same_lists_as(const TraversalConfig& o) const {
+    return theta == o.theta && use_m2p_p2l == o.use_m2p_p2l &&
+           m2p_target_max == o.m2p_target_max &&
+           p2l_source_max == o.p2l_source_max;
+  }
 };
 
 // Direct (near-field) work for one target leaf: interactions of every body
@@ -94,5 +108,21 @@ struct OpCounts {
 
 OpCounts count_operations(const AdaptiveOctree& tree,
                           const InteractionLists& lists);
+
+// Field-wise arithmetic, for composing deltas of restricted recounts.
+OpCounts& operator+=(OpCounts& a, const OpCounts& b);
+OpCounts& operator-=(OpCounts& a, const OpCounts& b);
+
+// OpCounts restricted to the parts of the tree affected by modifying the
+// subtrees rooted at `roots`: the tree-walk terms (P2M/M2M/L2L/L2P) inside
+// those subtrees plus every traversal pair with at least one side in them.
+// Collapse/push_down only reroute pairs touching the modified subtrees, so
+// running this before and after a batch gives the EXACT OpCounts delta of
+// the batch at the cost of the affected interaction region only -- this is
+// what makes the balancer's repeated cost prediction cheap (Section IV).
+// `roots` must be pairwise disjoint subtrees (the balancer's batches are).
+OpCounts count_operations_touching(const AdaptiveOctree& tree,
+                                   std::span<const int> roots,
+                                   const TraversalConfig& config = {});
 
 }  // namespace afmm

@@ -229,6 +229,52 @@ TEST_F(BalancerLoop, FgoImprovesPredictedComputeWhenUnbalanced) {
   EXPECT_GE(fgo, 0);
 }
 
+TEST(LoadBalancer, IncrementalTransitionRecordsObservedComputeExactly) {
+  // Search -> Incremental -> Observation with controlled observations: the
+  // dominant-device flip must record exactly min(observed, best) -- the old
+  // code wrapped this in a redundant self-min when best was unset.
+  Rng rng(99);
+  auto set = uniform_cube(2000, rng, {0.5, 0.5, 0.5}, 0.5);
+  NodeSimulator node(CpuModelConfig{}, GpuSystemConfig::uniform(2));
+
+  LoadBalancerConfig cfg;
+  cfg.strategy = LbStrategy::kFull;
+  cfg.enable_fgo = false;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set.positions, unit_config(cfg.initial_S));
+
+  // Balanced observation: search finishes immediately, best = 1.0.
+  ObservedStepTimes balanced;
+  balanced.cpu_seconds = 1.0;
+  balanced.gpu_seconds = 1.0;
+  auto r = lb.post_step(tree, set.positions, balanced, node);
+  ASSERT_EQ(r.state_after, LbState::kIncremental);
+  EXPECT_DOUBLE_EQ(r.best_compute, 1.0);
+
+  // Dominance flips CPU-ward with a better compute time: the transition to
+  // Observation must record that observed time exactly.
+  ObservedStepTimes flipped;
+  flipped.cpu_seconds = 0.9;
+  flipped.gpu_seconds = 0.7;
+  r = lb.post_step(tree, set.positions, flipped, node);
+  EXPECT_EQ(r.state_after, LbState::kObservation);
+  EXPECT_DOUBLE_EQ(r.best_compute, flipped.compute_seconds());
+
+  // Same flip with a WORSE observed time: the previous best must survive.
+  LoadBalancer lb2(cfg, TraversalConfig{});
+  AdaptiveOctree tree2;
+  tree2.build(set.positions, unit_config(cfg.initial_S));
+  r = lb2.post_step(tree2, set.positions, balanced, node);
+  ASSERT_EQ(r.state_after, LbState::kIncremental);
+  ObservedStepTimes worse;
+  worse.cpu_seconds = 1.4;
+  worse.gpu_seconds = 1.2;
+  r = lb2.post_step(tree2, set.positions, worse, node);
+  EXPECT_EQ(r.state_after, LbState::kObservation);
+  EXPECT_DOUBLE_EQ(r.best_compute, 1.0);
+}
+
 TEST(LoadBalancer, ToStringCoversEnums) {
   EXPECT_STREQ(to_string(LbState::kSearch), "search");
   EXPECT_STREQ(to_string(LbState::kIncremental), "incremental");

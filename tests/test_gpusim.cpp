@@ -128,6 +128,34 @@ TEST(Partition, InteractionWalkBalancesWell) {
   EXPECT_LT(partition_imbalance(work, parts), 1.25);
 }
 
+TEST(Partition, InteractionWalkCarriesOvershootAcrossCuts) {
+  // One huge item straddles the first share boundary. Its overshoot must be
+  // charged against the NEXT GPU's share; resetting the running count to
+  // zero instead hands GPU 1 a full fresh share and starves the last GPU of
+  // the accumulated difference.
+  std::vector<P2PWork> work;
+  work.push_back({0, {0}, 100});  // huge: blows well past share = 200/3
+  for (int i = 1; i <= 10; ++i)
+    work.push_back({i, {i}, 10});
+  const auto parts = partition_p2p_work(work, 3);
+
+  // Carry semantics: GPU 0 takes the huge item (100) with overshoot 33.3;
+  // GPU 1's count starts from the overshoot and cuts after 4 items (40);
+  // GPU 2 gets the remaining 6 items (60). The zero-reset bug gave GPU 1
+  // seven items (70) and GPU 2 three (30) -- twice as far from the ideal
+  // 50/50 split of the tail.
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size(), 1u);
+  EXPECT_EQ(parts[1].size(), 4u);
+  EXPECT_EQ(parts[2].size(), 6u);
+
+  std::uint64_t tail1 = 0;
+  std::uint64_t tail2 = 0;
+  for (int i : parts[1]) tail1 += work[i].interactions;
+  for (int i : parts[2]) tail2 += work[i].interactions;
+  EXPECT_LE(std::max(tail1, tail2) - std::min(tail1, tail2), 20u);
+}
+
 TEST(Partition, LptBeatsNodeCountOnSkewedWork) {
   std::vector<P2PWork> work(40);
   for (int i = 0; i < 40; ++i) {

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fmm_solver.hpp"
+#include "dist/distributions.hpp"
+#include "octree/list_cache.hpp"
+#include "octree/octree.hpp"
+#include "octree/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace afmm {
+namespace {
+
+TreeConfig unit_config(int S) {
+  TreeConfig tc;
+  tc.leaf_capacity = S;
+  tc.root_center = {0.5, 0.5, 0.5};
+  tc.root_half = 0.5;
+  return tc;
+}
+
+void expect_lists_equal(const InteractionLists& a, const InteractionLists& b) {
+  EXPECT_EQ(a.m2l_offset, b.m2l_offset);
+  EXPECT_EQ(a.m2l_sources, b.m2l_sources);
+  EXPECT_EQ(a.m2p_offset, b.m2p_offset);
+  EXPECT_EQ(a.m2p_sources, b.m2p_sources);
+  EXPECT_EQ(a.p2l_offset, b.p2l_offset);
+  EXPECT_EQ(a.p2l_sources, b.p2l_sources);
+  ASSERT_EQ(a.p2p.size(), b.p2p.size());
+  for (std::size_t i = 0; i < a.p2p.size(); ++i) {
+    EXPECT_EQ(a.p2p[i].target, b.p2p[i].target) << "work item " << i;
+    EXPECT_EQ(a.p2p[i].sources, b.p2p[i].sources) << "work item " << i;
+    EXPECT_EQ(a.p2p[i].interactions, b.p2p[i].interactions) << "work item " << i;
+  }
+  EXPECT_EQ(a.total_m2l_pairs, b.total_m2l_pairs);
+  EXPECT_EQ(a.total_p2p_interactions, b.total_p2p_interactions);
+  EXPECT_EQ(a.total_m2p_pairs, b.total_m2p_pairs);
+  EXPECT_EQ(a.total_p2l_pairs, b.total_p2l_pairs);
+}
+
+void expect_counts_equal(const OpCounts& a, const OpCounts& b) {
+  EXPECT_EQ(a.p2m, b.p2m);
+  EXPECT_EQ(a.p2m_bodies, b.p2m_bodies);
+  EXPECT_EQ(a.m2m, b.m2m);
+  EXPECT_EQ(a.m2l, b.m2l);
+  EXPECT_EQ(a.l2l, b.l2l);
+  EXPECT_EQ(a.l2p, b.l2p);
+  EXPECT_EQ(a.l2p_bodies, b.l2p_bodies);
+  EXPECT_EQ(a.p2p_interactions, b.p2p_interactions);
+  EXPECT_EQ(a.p2p_node_pairs, b.p2p_node_pairs);
+  EXPECT_EQ(a.m2p, b.m2p);
+  EXPECT_EQ(a.m2p_bodies, b.m2p_bodies);
+  EXPECT_EQ(a.p2l, b.p2l);
+  EXPECT_EQ(a.p2l_bodies, b.p2l_bodies);
+}
+
+// A few bottom parents (every child an effective leaf): the collapse
+// candidates of FineGrainedOptimize.
+std::vector<int> bottom_parents(const AdaptiveOctree& tree, int at_most) {
+  std::vector<int> out;
+  for (int id = 0; id < tree.num_nodes() &&
+                   static_cast<int>(out.size()) < at_most; ++id) {
+    if (tree.is_effective_leaf(id) || tree.node(id).count == 0) continue;
+    bool bottom = true;
+    for (int c : tree.node(id).children)
+      if (!tree.is_effective_leaf(c)) bottom = false;
+    if (bottom) out.push_back(id);
+  }
+  return out;
+}
+
+// ------------------------------------------- serial vs parallel identity ----
+
+struct WalkCase {
+  const char* name;
+  int n;
+  int S;
+  bool plummer;
+  bool extension;
+};
+
+class ParallelWalk : public ::testing::TestWithParam<WalkCase> {};
+
+TEST_P(ParallelWalk, MatchesSerialWalkBitForBit) {
+  const auto& wc = GetParam();
+  Rng rng(wc.n + wc.S);
+  std::vector<Vec3> pts;
+  TreeConfig tc;
+  if (wc.plummer) {
+    auto set = plummer(static_cast<std::size_t>(wc.n), rng);
+    pts = std::move(set.positions);
+    tc = fit_cube(pts, unit_config(wc.S));
+  } else {
+    auto set = uniform_cube(static_cast<std::size_t>(wc.n), rng,
+                            {0.5, 0.5, 0.5}, 0.5);
+    pts = std::move(set.positions);
+    tc = unit_config(wc.S);
+  }
+  tc.leaf_capacity = wc.S;
+  AdaptiveOctree tree;
+  tree.build(pts, tc);
+
+  TraversalConfig serial;
+  serial.parallel = false;
+  serial.use_m2p_p2l = wc.extension;
+  TraversalConfig parallel = serial;
+  parallel.parallel = true;
+
+  const auto ls = build_interaction_lists(tree, serial);
+  const auto lp = build_interaction_lists(tree, parallel);
+  expect_lists_equal(ls, lp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, ParallelWalk,
+    ::testing::Values(WalkCase{"uniform_fine", 20000, 16, false, false},
+                      WalkCase{"uniform_coarse", 20000, 128, false, false},
+                      WalkCase{"plummer_fine", 20000, 16, true, false},
+                      WalkCase{"plummer_coarse", 20000, 128, true, false},
+                      WalkCase{"uniform_ext", 12000, 8, false, true},
+                      WalkCase{"plummer_ext", 12000, 8, true, true}),
+    [](const auto& info) { return info.param.name; });
+
+// ------------------------------------------------------------- the cache ----
+
+TEST(ListCache, HitOnUnchangedStructure) {
+  Rng rng(21);
+  auto set = uniform_cube(5000, rng, {0.5, 0.5, 0.5}, 0.5);
+  AdaptiveOctree tree;
+  tree.build(set.positions, unit_config(32));
+
+  InteractionListCache cache;
+  TraversalConfig cfg;
+  const auto& l1 = cache.get(tree, cfg);
+  const auto& l2 = cache.get(tree, cfg);
+  EXPECT_EQ(&l1, &l2);
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  expect_lists_equal(l2, build_interaction_lists(tree, cfg));
+}
+
+TEST(ListCache, ChangedConfigRebuilds) {
+  Rng rng(22);
+  auto set = uniform_cube(3000, rng, {0.5, 0.5, 0.5}, 0.5);
+  AdaptiveOctree tree;
+  tree.build(set.positions, unit_config(32));
+
+  InteractionListCache cache;
+  TraversalConfig cfg;
+  cache.get(tree, cfg);
+  TraversalConfig tighter = cfg;
+  tighter.theta = 0.4;
+  const auto& lt = cache.get(tree, tighter);
+  EXPECT_EQ(cache.builds(), 2u);
+  expect_lists_equal(lt, build_interaction_lists(tree, tighter));
+}
+
+TEST(ListCache, EachStructureOperationInvalidates) {
+  Rng rng(23);
+  auto set = uniform_cube(8000, rng, {0.5, 0.5, 0.5}, 0.5);
+  AdaptiveOctree tree;
+  tree.build(set.positions, unit_config(16));
+
+  InteractionListCache cache;
+  TraversalConfig cfg;
+  cache.get(tree, cfg);
+  EXPECT_EQ(cache.builds(), 1u);
+
+  // build()
+  tree.build(set.positions, unit_config(16));
+  cache.get(tree, cfg);
+  EXPECT_EQ(cache.builds(), 2u);
+
+  // collapse()
+  const auto parents = bottom_parents(tree, 1);
+  ASSERT_EQ(parents.size(), 1u);
+  tree.collapse(parents[0]);
+  expect_lists_equal(cache.get(tree, cfg), build_interaction_lists(tree, cfg));
+  EXPECT_EQ(cache.builds(), 3u);
+
+  // push_down() (undoes the collapse; still a structure change)
+  ASSERT_TRUE(tree.push_down(parents[0]));
+  expect_lists_equal(cache.get(tree, cfg), build_interaction_lists(tree, cfg));
+  EXPECT_EQ(cache.builds(), 4u);
+
+  // enforce_S() with a smaller S must apply ops and invalidate.
+  ASSERT_GT(tree.enforce_S(8), 0);
+  expect_lists_equal(cache.get(tree, cfg), build_interaction_lists(tree, cfg));
+  EXPECT_EQ(cache.builds(), 5u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ListCache, RebinDoesNotInvalidate) {
+  Rng rng(24);
+  auto set = uniform_cube(6000, rng, {0.5, 0.5, 0.5}, 0.5);
+  AdaptiveOctree tree;
+  tree.build(set.positions, unit_config(32));
+
+  InteractionListCache cache;
+  TraversalConfig cfg;
+  cache.get(tree, cfg);
+  tree.rebin(set.positions);  // unchanged bodies: counts identical
+  cache.get(tree, cfg);
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ListCache, RebinRefreshesInteractionCounts) {
+  // Two bodies per octant of the unit cube, none near a face: S = 8 gives
+  // one level of eight non-empty leaves. Moving one body across the x = 0.5
+  // face changes leaf counts (2,2 -> 1,3) without emptying any leaf, so the
+  // cached lists survive the rebin with refreshed Interactions(t).
+  std::vector<Vec3> pts;
+  for (int o = 0; o < 8; ++o) {
+    const Vec3 c{(o & 1) ? 0.75 : 0.25, (o & 2) ? 0.75 : 0.25,
+                 (o & 4) ? 0.75 : 0.25};
+    pts.push_back(c + Vec3{-0.05, 0.0, 0.0});
+    pts.push_back(c + Vec3{+0.05, 0.0, 0.0});
+  }
+  AdaptiveOctree tree;
+  tree.build(pts, unit_config(8));
+  ASSERT_GT(tree.num_nodes(), 1);
+
+  InteractionListCache cache;
+  TraversalConfig cfg;
+  cfg.theta = 0.9;  // adjacent level-1 boxes are never separated; all P2P
+  cache.get(tree, cfg);
+
+  pts[1].x = 0.55;  // octant 0 -> octant 1, both stay non-empty
+  tree.rebin(pts);
+  const auto& refreshed = cache.get(tree, cfg);
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.refreshes(), 1u);
+  expect_lists_equal(refreshed, build_interaction_lists(tree, cfg));
+}
+
+TEST(ListCache, RebinThatEmptiesALeafRebuilds) {
+  // One lone body in octant 7 keeps that leaf barely non-empty; moving it
+  // out empties the leaf, which changes the traversal's pruning -- the cache
+  // must notice and re-traverse instead of serving stale lists.
+  std::vector<Vec3> pts;
+  for (int o = 0; o < 7; ++o) {
+    const Vec3 c{(o & 1) ? 0.75 : 0.25, (o & 2) ? 0.75 : 0.25,
+                 (o & 4) ? 0.75 : 0.25};
+    pts.push_back(c + Vec3{-0.05, 0.0, 0.0});
+    pts.push_back(c + Vec3{+0.05, 0.0, 0.0});
+  }
+  pts.push_back({0.75, 0.75, 0.75});
+  AdaptiveOctree tree;
+  tree.build(pts, unit_config(8));
+
+  InteractionListCache cache;
+  TraversalConfig cfg;
+  cache.get(tree, cfg);
+
+  pts.back() = {0.45, 0.75, 0.75};  // crosses into octant 6; octant 7 empties
+  tree.rebin(pts);
+  const auto& rebuilt = cache.get(tree, cfg);
+  EXPECT_EQ(cache.builds(), 2u);
+  expect_lists_equal(rebuilt, build_interaction_lists(tree, cfg));
+}
+
+TEST(ListCache, SolvePerformsExactlyOneTraversal) {
+  Rng rng(25);
+  const int n = 4000;
+  auto set = uniform_cube(n, rng, {0.5, 0.5, 0.5}, 0.5);
+  std::vector<double> q(n, 1.0);
+
+  AdaptiveOctree tree;
+  tree.build(set.positions, unit_config(64));
+
+  GravitySolver solver(FmmConfig{},
+                       NodeSimulator(CpuModelConfig{},
+                                     GpuSystemConfig::uniform(2)));
+  solver.solve(tree, set.positions, q);
+  EXPECT_EQ(solver.list_cache().builds(), 1u);
+
+  // Unchanged structure: the second solve reuses the memoized lists.
+  solver.solve(tree, set.positions, q);
+  EXPECT_EQ(solver.list_cache().builds(), 1u);
+  EXPECT_GE(solver.list_cache().hits(), 1u);
+
+  // A structure change re-traverses exactly once.
+  ASSERT_GT(tree.enforce_S(32), 0);
+  solver.solve(tree, set.positions, q);
+  EXPECT_EQ(solver.list_cache().builds(), 2u);
+}
+
+// ------------------------------------------------- incremental recounting ----
+
+TEST(ListCache, TouchingRecountMatchesFullRecount) {
+  Rng rng(26);
+  auto set = plummer(10000, rng);
+  AdaptiveOctree tree;
+  tree.build(set.positions, fit_cube(set.positions, unit_config(16)));
+
+  TraversalConfig cfg;
+  OpCounts counts = count_operations(tree, build_interaction_lists(tree, cfg));
+
+  // Collapse a batch of bottom parents, tracking the delta incrementally.
+  const auto batch = bottom_parents(tree, 8);
+  ASSERT_GT(batch.size(), 0u);
+  OpCounts before = count_operations_touching(tree, batch, cfg);
+  for (int id : batch) tree.collapse(id);
+  counts += count_operations_touching(tree, batch, cfg);
+  counts -= before;
+  expect_counts_equal(counts,
+                      count_operations(tree, build_interaction_lists(tree, cfg)));
+
+  // And back: push the same nodes down again (the revert direction).
+  before = count_operations_touching(tree, batch, cfg);
+  for (int id : batch) ASSERT_TRUE(tree.push_down(id));
+  counts += count_operations_touching(tree, batch, cfg);
+  counts -= before;
+  expect_counts_equal(counts,
+                      count_operations(tree, build_interaction_lists(tree, cfg)));
+}
+
+TEST(ListCache, TouchingRecountMatchesFullRecountWithExtension) {
+  Rng rng(27);
+  auto set = uniform_cube(6000, rng, {0.5, 0.5, 0.5}, 0.5);
+  AdaptiveOctree tree;
+  tree.build(set.positions, unit_config(8));
+
+  TraversalConfig cfg;
+  cfg.use_m2p_p2l = true;
+  OpCounts counts = count_operations(tree, build_interaction_lists(tree, cfg));
+
+  const auto batch = bottom_parents(tree, 6);
+  ASSERT_GT(batch.size(), 0u);
+  const OpCounts before = count_operations_touching(tree, batch, cfg);
+  for (int id : batch) tree.collapse(id);
+  counts += count_operations_touching(tree, batch, cfg);
+  counts -= before;
+  expect_counts_equal(counts,
+                      count_operations(tree, build_interaction_lists(tree, cfg)));
+}
+
+}  // namespace
+}  // namespace afmm

@@ -146,6 +146,31 @@ TEST(Simulation, BalancerStateProgressesOverSteps) {
   EXPECT_EQ(recs.back().state, LbState::kObservation);
 }
 
+TEST(Simulation, StructureStableStepBuildsAtMostOneList) {
+  // Acceptance check for the shared list cache: a step that leaves the tree
+  // structure alone (no rebuild / enforce / fgo) re-traverses at most once --
+  // and only when a rebin flipped some leaf's emptiness. The solver's own
+  // second use of the lists and the balancer's dry_run are all cache hits.
+  Rng rng(77);
+  auto set = uniform_cube(4000, rng, {0, 0, 0}, 0.5);
+  for (auto& v : set.velocities) v = {0.01, -0.01, 0.02};
+  auto cfg = base_config();
+  cfg.softening = 1e-3;
+  cfg.dt = 1e-4;  // slow dynamics: the structure settles quickly
+  cfg.balancer.strategy = LbStrategy::kStatic;
+  GravitySimulation sim(cfg, default_node(), set);
+  ASSERT_EQ(sim.list_cache().builds(), 1u);  // the initial solve
+  for (int i = 0; i < 12; ++i) {
+    const std::uint64_t before = sim.list_cache().builds();
+    const auto rec = sim.step();
+    const std::uint64_t delta = sim.list_cache().builds() - before;
+    if (!rec.rebuilt && rec.enforce_ops == 0 && rec.fgo_ops == 0) {
+      EXPECT_LE(delta, 1u) << "step " << i << " re-traversed a stable tree";
+    }
+  }
+  EXPECT_GT(sim.list_cache().hits(), 0u);
+}
+
 TEST(Simulation, ColdCollapseDriversEnforcement) {
   // A cold, compact Plummer sphere collapses; the full strategy must apply
   // tree maintenance (rebuilds / enforce / fgo) at some point.
