@@ -41,6 +41,10 @@ inline CpuModelConfig system_b_cpu(int cores) {
 }
 
 // Timing-only observation of one solve on `tree` (see file comment).
+// Delegates to NodeSimulator::observe_step, so the observation respects the
+// machine's CURRENT health: dead devices get no work, throttled clocks slow
+// kernels, transfer retries are charged, and with no GPU left the near field
+// is costed on the CPU -- healthy machines behave exactly as before.
 inline ObservedStepTimes observe_tree(const AdaptiveOctree& tree,
                                       const NodeSimulator& node,
                                       const ExpansionContext& ctx,
@@ -48,18 +52,8 @@ inline ObservedStepTimes observe_tree(const AdaptiveOctree& tree,
                                       int m2l_passes = 1,
                                       double flops_per_interaction = 20.0) {
   const auto lists = build_interaction_lists(tree, traversal);
-  auto t = node.simulate_far_field(ctx, tree, lists, m2l_passes);
-  const int g = static_cast<int>(node.gpus().devices.size());
-  const auto parts = partition_p2p_work(lists.p2p, g, node.gpus().partition);
-  double worst = 0.0;
-  for (int d = 0; d < g; ++d) {
-    const auto shapes = collect_shapes(tree, lists.p2p, parts[d]);
-    worst = std::max(worst, simulate_kernel(node.gpus().devices[d], shapes,
-                                            flops_per_interaction)
-                                .seconds);
-  }
-  t.gpu_seconds = worst;
-  return t;
+  return node.observe_step(ctx, tree, lists, flops_per_interaction,
+                           m2l_passes);
 }
 
 // Replays a recorded workload trajectory under one load-balancing strategy,

@@ -29,6 +29,9 @@ struct CostCoefficients {
   double l2p_per_body = 0.0;
   // Seconds per P2P body-pair interaction, whole GPU system.
   double p2p = 0.0;
+  // Seconds per P2P interaction when the near field runs on the CPU (the
+  // all-GPUs-lost fallback); stays 0 while any GPU is alive.
+  double p2p_cpu = 0.0;
   // Observed parallel efficiency of the far-field task schedule.
   double cpu_efficiency = 1.0;
 };
@@ -37,8 +40,17 @@ class CostModel {
  public:
   explicit CostModel(double smoothing = 0.5) : alpha_(smoothing) {}
 
-  // Feed one step's observation (times must include gpu_seconds).
+  // Feed one step's observation (times must include gpu_seconds). An
+  // operation that never fired (zero count) or a non-finite total keeps the
+  // previous coefficient -- a pathological tree shape can starve an op but
+  // must never divide by zero or poison a coefficient with NaN.
   void observe(const ObservedStepTimes& t, int num_cores);
+
+  // Drop every learned coefficient and observation. The balancer calls this
+  // when the machine's capability shifts (device loss, throttling): the old
+  // coefficients describe hardware that no longer exists, and EWMA-chasing
+  // them would poison predictions for many steps.
+  void reset() { *this = CostModel(alpha_); }
 
   bool ready() const { return observations_ > 0; }
   int observations() const { return observations_; }
@@ -46,8 +58,14 @@ class CostModel {
 
   // Predicted wall-clock times for a (possibly hypothetical) tree whose
   // operation counts are `m` -- the paper's T_cpu / T_gpu formulas.
+  // predict_cpu includes the CPU-fallback near field (it serializes with the
+  // far field on the same cores); predict_far is the expansion work alone
+  // and predict_near the direct work wherever it currently executes -- the
+  // two sides the capability-shift detector judges independently.
   double predict_cpu(const OpCounts& m, int num_cores) const;
   double predict_gpu(const OpCounts& m) const;
+  double predict_far(const OpCounts& m, int num_cores) const;
+  double predict_near(const OpCounts& m) const;
   double predict_compute(const OpCounts& m, int num_cores) const;
 
  private:

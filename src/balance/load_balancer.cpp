@@ -33,9 +33,40 @@ LoadBalancer::LoadBalancer(const LoadBalancerConfig& config,
       search_hi_(config.max_S) {}
 
 bool LoadBalancer::gap_ok(const ObservedStepTimes& t) const {
-  const double gap = std::abs(t.cpu_seconds - t.gpu_seconds);
+  // Far (expansion) vs near (direct) work, wherever the near field runs:
+  // identical to |CPU - GPU| on a healthy machine, and still meaningful when
+  // the near field has fallen back to the CPU.
+  const double gap = std::abs(t.far_seconds() - t.near_seconds());
   return gap <= std::max(config_.gap_seconds,
                          config_.gap_relative * t.compute_seconds());
+}
+
+namespace {
+
+// Symmetric relative divergence in [0, 1]: 0 = exact, 0.5 = off by 2x.
+double relative_divergence(double observed, double predicted) {
+  const double hi = std::max(observed, predicted);
+  if (hi <= 0.0) return 0.0;
+  return std::abs(observed - predicted) / hi;
+}
+
+}  // namespace
+
+bool LoadBalancer::capability_shift(const ObservedStepTimes& observed,
+                                    int cores) const {
+  if (config_.shift_relative <= 0.0) return false;
+  if (state_ != LbState::kObservation) return false;  // tree still moving
+  if (model_.observations() < config_.shift_min_observations) return false;
+  // Predictions for the EXACT counts of the step just observed: any
+  // divergence is a change in seconds-per-operation -- the machine -- not in
+  // the workload. Each side is judged on its own so a dead GPU cannot hide
+  // behind an unchanged CPU.
+  return relative_divergence(observed.near_seconds(),
+                             model_.predict_near(observed.counts)) >
+             config_.shift_relative ||
+         relative_divergence(observed.far_seconds(),
+                             model_.predict_far(observed.counts, cores)) >
+             config_.shift_relative;
 }
 
 void LoadBalancer::rebuild(AdaptiveOctree& tree,
@@ -56,7 +87,7 @@ OpCounts LoadBalancer::dry_run(const AdaptiveOctree& tree) const {
 int LoadBalancer::fine_grained_optimize(AdaptiveOctree& tree,
                                         const NodeSimulator& node,
                                         LbStepReport& r) {
-  const int cores = node.cpu().num_cores;
+  const int cores = node.effective_cores();
   int total_ops = 0;
 
   OpCounts counts = dry_run(tree);
@@ -143,11 +174,43 @@ LbStepReport LoadBalancer::post_step(AdaptiveOctree& tree,
                                      std::span<const Vec3> positions,
                                      const ObservedStepTimes& observed,
                                      const NodeSimulator& node) {
-  model_.observe(observed, node.cpu().num_cores);
-
   LbStepReport r;
   r.state_before = state_;
   r.S = s_;
+
+  const int cores = node.effective_cores();
+
+  // Shift detection must run against the PRE-observation predictions: letting
+  // this step blend into the EWMA first would halve the divergence it is
+  // trying to measure.
+  const bool diverged = capability_shift(observed, cores);
+  if (node.health().fault_epoch != last_epoch_) {
+    last_epoch_ = node.health().fault_epoch;
+    // A registry change stays "pending" for a few judged steps: the divergence
+    // it causes may only surface once the next solve runs on the new machine.
+    epoch_pending_ = std::max(2 * config_.shift_min_observations, 6);
+  } else if (epoch_pending_ > 0 && state_ == LbState::kObservation &&
+             !diverged) {
+    --epoch_pending_;  // change absorbed without ever mattering
+  }
+
+  if (diverged && (!config_.shift_requires_epoch || epoch_pending_ > 0)) {
+    // The machine itself changed: the learned coefficients describe hardware
+    // that no longer exists. Drop them and re-search S from scratch for the
+    // surviving capability.
+    model_.reset();
+    state_ = LbState::kSearch;
+    search_lo_ = config_.min_S;
+    search_hi_ = config_.max_S;
+    search_steps_ = 0;
+    last_dominant_ = 0;
+    best_compute_ = -1.0;
+    reset_best_next_ = false;
+    epoch_pending_ = 0;
+    r.capability_shift = true;
+  }
+
+  model_.observe(observed, cores);
 
   if (reset_best_next_) {
     best_compute_ = observed.compute_seconds();
@@ -185,16 +248,19 @@ void LoadBalancer::step_search(AdaptiveOctree& tree,
     best_compute_ = observed.compute_seconds();
     if (config_.strategy == LbStrategy::kFull) {
       state_ = LbState::kIncremental;
-      last_dominant_ = observed.cpu_seconds > observed.gpu_seconds ? +1 : -1;
+      last_dominant_ = observed.far_seconds() > observed.near_seconds() ? +1
+                                                                        : -1;
     } else {
       state_ = LbState::kObservation;
     }
     return;
   }
 
-  // Bisect in log space: CPU-dominant means too much expansion work, so S
-  // must grow (bigger leaves shift work to the GPU); GPU-dominant shrinks S.
-  if (observed.cpu_seconds > observed.gpu_seconds)
+  // Bisect in log space: far-dominant means too much expansion work, so S
+  // must grow (bigger leaves shift work into the near field); near-dominant
+  // shrinks S. On a healthy machine this is exactly the paper's CPU-vs-GPU
+  // comparison; with every GPU lost it balances the two CPU phases instead.
+  if (observed.far_seconds() > observed.near_seconds())
     search_lo_ = s_;
   else
     search_hi_ = s_;
@@ -218,7 +284,7 @@ void LoadBalancer::step_incremental(AdaptiveOctree& tree,
                                     const NodeSimulator& node,
                                     LbStepReport& r) {
   const int dominant =
-      observed.cpu_seconds > observed.gpu_seconds ? +1 : -1;
+      observed.far_seconds() > observed.near_seconds() ? +1 : -1;
 
   if (last_dominant_ != 0 && dominant != last_dominant_) {
     // The dominant computational unit flipped: the transitional S is found.
@@ -266,7 +332,7 @@ void LoadBalancer::step_observation(AdaptiveOctree& tree,
     return;
   }
 
-  const int cores = node.cpu().num_cores;
+  const int cores = node.effective_cores();
   OpCounts counts = dry_run(tree);
   double predicted = model_.predict_compute(counts, cores);
   r.lb_seconds += node.enforce_seconds(1, tree.num_bodies());

@@ -18,6 +18,19 @@
 // Incremental when enforcement + fine tuning cannot bring the predicted time
 // back within the band.
 //
+// Degradation awareness (beyond the paper): in Observation the balancer
+// compares each side's observed time against the cost model's own
+// prediction for the SAME operation counts. Workload drift changes the
+// counts, so prediction tracks it; a capability shift (GPU died, clock
+// throttled, cores preempted) changes the time-per-operation itself, which
+// the counts cannot explain. When the relative divergence exceeds
+// `shift_relative`, the balancer declares the machine changed: the poisoned
+// EWMA coefficients are reset and the state returns to Search to re-find S
+// for the machine that actually exists, instead of letting
+// FineGrainedOptimize chase an optimum computed from dead hardware. The
+// direct work is balanced against wherever it currently runs -- surviving
+// GPUs, or the CPU fallback when every GPU is lost.
+//
 // The three strategies of Section IX.A are selected with LbStrategy:
 //   kStatic      -- strategy 1: initial search only, never touch the tree
 //   kEnforceOnly -- strategy 2: initial search, then Enforce_S on >5% drift
@@ -58,6 +71,19 @@ struct LoadBalancerConfig {
   int fgo_batch = 8;          // nodes modified per FineGrainedOptimize batch
   int fgo_max_batches = 64;
   double smoothing = 0.5;     // cost model EWMA
+  // Capability-shift detection: relative observed-vs-predicted divergence
+  // (symmetric, in [0, 1]) above which the machine itself -- not the
+  // workload -- is assumed to have changed. Must sit well above the 5% band
+  // so ordinary noise walks the Enforce_S/FGO path, and below the ~0.5
+  // divergence losing one of two GPUs produces. 0 disables detection.
+  double shift_relative = 0.3;
+  int shift_min_observations = 3;  // let the EWMA settle before judging
+  // Require the health registry's fault_epoch to have moved before declaring
+  // a shift. The GPU coefficient is shape-dependent, so a violent workload
+  // change can masquerade as divergence; the epoch disambiguates "the
+  // machine changed" from "the tree no longer fits the bodies". Disable for
+  // deployments whose faults bypass the registry.
+  bool shift_requires_epoch = true;
 };
 
 struct LbStepReport {
@@ -70,6 +96,9 @@ struct LbStepReport {
   double lb_seconds = 0.0;       // virtual cost of all balancing work
   double predicted_compute = 0.0;
   double best_compute = 0.0;
+  // The machine's capability shifted this step: coefficients were reset and
+  // the balancer re-entered Search for the surviving hardware.
+  bool capability_shift = false;
 };
 
 class LoadBalancer {
@@ -95,6 +124,8 @@ class LoadBalancer {
 
  private:
   bool gap_ok(const ObservedStepTimes& t) const;
+  // True when observed-vs-predicted divergence says the machine changed.
+  bool capability_shift(const ObservedStepTimes& observed, int cores) const;
   void rebuild(AdaptiveOctree& tree, std::span<const Vec3> positions,
                LbStepReport& r, const NodeSimulator& node);
   OpCounts dry_run(const AdaptiveOctree& tree) const;
@@ -131,6 +162,12 @@ class LoadBalancer {
   // Observation state.
   double best_compute_ = -1.0;
   bool reset_best_next_ = false;  // strategy 2: re-baseline after Enforce_S
+
+  // Capability-shift state: last health epoch seen, and how many more
+  // sub-threshold Observation steps may pass before a pending epoch change
+  // is considered absorbed without a shift.
+  std::uint64_t last_epoch_ = 0;
+  int epoch_pending_ = 0;
 };
 
 }  // namespace afmm

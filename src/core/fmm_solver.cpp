@@ -200,7 +200,8 @@ GravityResult GravitySolver::solve(const AdaptiveOctree& tree,
 
   GravityResult res;
   res.gpu = run_p2p(tree, lists.p2p, kernel_, std::span<const GravitySource>(sources),
-                    tree.perm(), node_.gpus(), std::span<GravityAccum>(near));
+                    tree.perm(), node_.gpus(), std::span<GravityAccum>(near),
+                    &node_.health());
 
   res.potential.assign(n, 0.0);
   res.gradient.assign(n, Vec3{});
@@ -212,7 +213,11 @@ GravityResult GravitySolver::solve(const AdaptiveOctree& tree,
   }
 
   res.times = node_.simulate_far_field(far_.context(), tree, lists, 1);
-  res.times.gpu_seconds = res.gpu.max_kernel_seconds;
+  if (res.gpu.cpu_fallback)
+    res.times.cpu_p2p_seconds = node_.cpu_p2p_seconds(res.gpu.total_interactions);
+  else
+    res.times.gpu_seconds = res.gpu.max_kernel_seconds;
+  res.times.transfer_retries = res.gpu.timeline.retries;
   res.stats = make_stats(tree, lists);
   res.real_timings = std::move(timers);
   return res;
@@ -257,7 +262,8 @@ StokesletResult StokesletSolver::solve(const AdaptiveOctree& tree,
   StokesletResult res;
   res.gpu = run_p2p(tree, lists.p2p, kernel_,
                     std::span<const StokesletSource>(sources), perm,
-                    node_.gpus(), std::span<StokesletAccum>(near));
+                    node_.gpus(), std::span<StokesletAccum>(near),
+                    &node_.health());
 
   res.velocity.assign(n, Vec3{});
   for (std::size_t t = 0; t < n; ++t) {
@@ -271,7 +277,11 @@ StokesletResult StokesletSolver::solve(const AdaptiveOctree& tree,
   }
 
   res.times = node_.simulate_far_field(far_.context(), tree, lists, 4);
-  res.times.gpu_seconds = res.gpu.max_kernel_seconds;
+  if (res.gpu.cpu_fallback)
+    res.times.cpu_p2p_seconds = node_.cpu_p2p_seconds(res.gpu.total_interactions);
+  else
+    res.times.gpu_seconds = res.gpu.max_kernel_seconds;
+  res.times.transfer_retries = res.gpu.timeline.retries;
   res.stats = make_stats(tree, lists);
   res.real_timings = std::move(timers);
   return res;

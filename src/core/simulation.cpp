@@ -7,6 +7,7 @@ GravitySimulation::GravitySimulation(const SimulationConfig& config,
     : config_(config),
       solver_(config.fmm, std::move(node), GravityKernel(config.softening)),
       balancer_(config.balancer, config.fmm.traversal),
+      injector_(config.faults, config.fault_seed),
       bodies_(std::move(bodies)) {
   solver_.set_list_cache(&list_cache_);
   balancer_.set_list_cache(&list_cache_);
@@ -48,6 +49,16 @@ StepRecord GravitySimulation::step() {
   rec.rebuilt = lb.rebuilt;
   rec.enforce_ops = lb.enforce_ops;
   rec.fgo_ops = lb.fgo_ops;
+  rec.capability_shift = lb.capability_shift;
+
+  // Faults for this step fire after balancing, before the solve: the solve
+  // runs on the degraded machine and the balancer reacts next step.
+  MachineHealth& health = solver_.node().health();
+  rec.faults_fired =
+      static_cast<int>(injector_.advance_to(step_count_, health).size());
+  rec.alive_gpus = health.num_alive_gpus();
+  rec.gpu_capability = health.total_gpu_capability();
+  rec.effective_cores = solver_.node().effective_cores();
 
   auto res = solver_.solve(tree_, bodies_.positions, bodies_.masses);
   for (std::size_t i = 0; i < bodies_.size(); ++i) {
@@ -61,6 +72,8 @@ StepRecord GravitySimulation::step() {
   rec.cpu_seconds = res.times.cpu_seconds;
   rec.gpu_seconds = res.times.gpu_seconds;
   rec.stats = res.stats;
+  rec.cpu_fallback = res.gpu.cpu_fallback;
+  rec.transfer_retries = res.times.transfer_retries;
 
   ++step_count_;
   return rec;

@@ -19,6 +19,7 @@
 #include "balance/load_balancer.hpp"
 #include "core/fmm_solver.hpp"
 #include "dist/distributions.hpp"
+#include "faults/fault_injector.hpp"
 
 namespace afmm {
 
@@ -29,6 +30,10 @@ struct SimulationConfig {
   double dt = 1e-3;
   double grav_const = 1.0;
   double softening = 1e-3;
+  // Deterministic fault schedule replayed against the node's health registry
+  // (empty by default: a perfectly healthy run).
+  FaultSchedule faults;
+  std::uint64_t fault_seed = 0x5eed;
 };
 
 struct StepRecord {
@@ -44,6 +49,14 @@ struct StepRecord {
   int enforce_ops = 0;
   int fgo_ops = 0;
   SolveStats stats;
+  // Fault / degradation bookkeeping (chaos benches and recovery plots).
+  int faults_fired = 0;          // injector events applied before this solve
+  int alive_gpus = 0;
+  double gpu_capability = 0.0;   // sum of per-GPU health scales
+  int effective_cores = 0;
+  bool capability_shift = false; // balancer reset + re-entered Search
+  bool cpu_fallback = false;     // near field ran on the CPU (no GPUs alive)
+  int transfer_retries = 0;
 };
 
 class GravitySimulation {
@@ -60,6 +73,9 @@ class GravitySimulation {
   const ParticleSet& bodies() const { return bodies_; }
   const AdaptiveOctree& tree() const { return tree_; }
   const LoadBalancer& balancer() const { return balancer_; }
+  const FaultInjector& fault_injector() const { return injector_; }
+  // Mutable machine health, for tests and benches that poke faults directly.
+  NodeSimulator& node() { return solver_.node(); }
   int steps_taken() const { return step_count_; }
 
   // The interaction-list cache shared by the solver and the balancer: one
@@ -77,6 +93,7 @@ class GravitySimulation {
   InteractionListCache list_cache_;
   GravitySolver solver_;
   LoadBalancer balancer_;
+  FaultInjector injector_;
   ParticleSet bodies_;
   AdaptiveOctree tree_;
   std::vector<Vec3> accel_;

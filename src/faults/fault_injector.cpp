@@ -1,0 +1,130 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace afmm {
+
+namespace {
+
+// splitmix64: tiny, stateless, good avalanche -- perfect for folding (seed,
+// step) into a fresh transfer seed without carrying generator state.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kGpuLoss: return "gpu-loss";
+    case FaultKind::kGpuRecovery: return "gpu-recovery";
+    case FaultKind::kGpuThrottle: return "gpu-throttle";
+    case FaultKind::kCpuPreemption: return "cpu-preemption";
+    case FaultKind::kCpuRestore: return "cpu-restore";
+    case FaultKind::kTransferFaults: return "transfer-faults";
+  }
+  return "?";
+}
+
+FaultSchedule& FaultSchedule::gpu_loss(int step, int device) {
+  events.push_back({step, FaultKind::kGpuLoss, device, 1.0, 0, 0.0, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::gpu_recovery(int step, int device) {
+  events.push_back({step, FaultKind::kGpuRecovery, device, 1.0, 0, 0.0, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::gpu_throttle(int step, int device,
+                                           double clock_scale) {
+  events.push_back(
+      {step, FaultKind::kGpuThrottle, device, clock_scale, 0, 0.0, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::cpu_preemption(int step, int cores) {
+  events.push_back({step, FaultKind::kCpuPreemption, 0, 1.0, cores, 0.0, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::cpu_restore(int step) {
+  events.push_back({step, FaultKind::kCpuRestore, 0, 1.0, 0, 0.0, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::transfer_faults(int step, double fail_prob,
+                                              int duration) {
+  events.push_back(
+      {step, FaultKind::kTransferFaults, 0, 1.0, 0, fail_prob, duration});
+  return *this;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
+    : schedule_(std::move(schedule)), seed_(seed) {
+  std::stable_sort(
+      schedule_.events.begin(), schedule_.events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.step < b.step; });
+}
+
+bool FaultInjector::exhausted() const {
+  return next_ >= schedule_.events.size() && transfer_window_end_ < 0;
+}
+
+void FaultInjector::apply(const FaultEvent& e, MachineHealth& health) {
+  switch (e.kind) {
+    case FaultKind::kGpuLoss:
+      if (e.device >= 0 && e.device < static_cast<int>(health.gpus.size()))
+        health.gpus[e.device].alive = false;
+      break;
+    case FaultKind::kGpuRecovery:
+      if (e.device >= 0 && e.device < static_cast<int>(health.gpus.size())) {
+        health.gpus[e.device].alive = true;
+        health.gpus[e.device].clock_scale = 1.0;
+      }
+      break;
+    case FaultKind::kGpuThrottle:
+      if (e.device >= 0 && e.device < static_cast<int>(health.gpus.size()))
+        health.gpus[e.device].clock_scale =
+            std::clamp(e.clock_scale, 0.01, 1.0);
+      break;
+    case FaultKind::kCpuPreemption:
+      health.cpu_cores_available =
+          std::max(1, health.cpu_cores_available - std::max(0, e.cores));
+      break;
+    case FaultKind::kCpuRestore:
+      health.cpu_cores_available = health.cpu_cores_provisioned;
+      break;
+    case FaultKind::kTransferFaults:
+      health.transfer_fault_prob = std::clamp(e.fail_prob, 0.0, 1.0);
+      transfer_window_end_ = e.duration > 0 ? e.step + e.duration : -1;
+      if (health.transfer_fault_prob == 0.0) transfer_window_end_ = -1;
+      break;
+  }
+  ++health.fault_epoch;
+}
+
+std::vector<FaultEvent> FaultInjector::advance_to(int step,
+                                                  MachineHealth& health) {
+  std::vector<FaultEvent> fired;
+  if (transfer_window_end_ >= 0 && step >= transfer_window_end_) {
+    health.transfer_fault_prob = 0.0;
+    transfer_window_end_ = -1;
+    ++health.fault_epoch;
+  }
+  while (next_ < schedule_.events.size() &&
+         schedule_.events[next_].step <= step) {
+    apply(schedule_.events[next_], health);
+    fired.push_back(schedule_.events[next_]);
+    ++next_;
+  }
+  // Fresh per-step seed keeps transfer-retry draws deterministic yet
+  // uncorrelated across steps.
+  health.transfer_seed = splitmix64(seed_ ^ static_cast<std::uint64_t>(step));
+  return fired;
+}
+
+}  // namespace afmm

@@ -1,0 +1,87 @@
+// Deterministic, seeded fault injection against the machine health registry.
+//
+// A FaultSchedule is a list of typed events pinned to simulation steps:
+//
+//   kGpuLoss         -- device drops off the bus (alive = false)
+//   kGpuRecovery     -- device comes back at full clock
+//   kGpuThrottle     -- thermal event: clock ramps to `clock_scale` (a later
+//                       throttle event with scale 1.0 models the ramp back up)
+//   kCpuPreemption   -- co-tenant steals cores: `cores` taken from the pool
+//   kCpuRestore      -- preempted cores handed back (all of them)
+//   kTransferFaults  -- transient-link window: each transfer attempt fails
+//                       with `fail_prob` for `duration` steps (0 = until a
+//                       later window event overrides it)
+//
+// The injector owns no randomness of its own beyond a seed it folds with the
+// step index into MachineHealth::transfer_seed, so a given (schedule, seed)
+// replays the identical fault trajectory every run -- chaos tests are
+// ordinary deterministic tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/health.hpp"
+
+namespace afmm {
+
+enum class FaultKind {
+  kGpuLoss,
+  kGpuRecovery,
+  kGpuThrottle,
+  kCpuPreemption,
+  kCpuRestore,
+  kTransferFaults,
+};
+
+const char* to_string(FaultKind k);
+
+struct FaultEvent {
+  int step = 0;
+  FaultKind kind = FaultKind::kGpuLoss;
+  int device = 0;           // GPU index (loss / recovery / throttle)
+  double clock_scale = 1.0; // throttle target in (0, 1]
+  int cores = 0;            // cores taken by kCpuPreemption
+  double fail_prob = 0.0;   // kTransferFaults failure probability
+  int duration = 0;         // kTransferFaults window length in steps
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  // Convenience builders; all return *this for chaining.
+  FaultSchedule& gpu_loss(int step, int device);
+  FaultSchedule& gpu_recovery(int step, int device);
+  FaultSchedule& gpu_throttle(int step, int device, double clock_scale);
+  FaultSchedule& cpu_preemption(int step, int cores);
+  FaultSchedule& cpu_restore(int step);
+  FaultSchedule& transfer_faults(int step, double fail_prob, int duration);
+
+  bool empty() const { return events.empty(); }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultSchedule schedule, std::uint64_t seed = 0x5eed);
+
+  // Applies every not-yet-applied event scheduled at or before `step` to
+  // `health` (steps must be visited in nondecreasing order) and rotates the
+  // transfer seed. Returns the events fired this call, in schedule order.
+  std::vector<FaultEvent> advance_to(int step, MachineHealth& health);
+
+  bool exhausted() const;
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  void apply(const FaultEvent& e, MachineHealth& health);
+
+  FaultSchedule schedule_;  // kept sorted by step (stable)
+  std::uint64_t seed_ = 0x5eed;
+  std::size_t next_ = 0;
+  // Step at which an active transfer-fault window expires (-1 = none).
+  int transfer_window_end_ = -1;
+};
+
+}  // namespace afmm

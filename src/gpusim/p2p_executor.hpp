@@ -10,6 +10,14 @@
 // simulate_kernel(); the reported GPU Time is the maximum kernel time over
 // all devices, matching the paper's cudaEvent-based definition (Section
 // VII.A).
+//
+// Degradation (health registry): when a MachineHealth is supplied, dead
+// devices receive no work, throttled devices run at their scaled clock and
+// receive a proportionally smaller interaction share, and transient link
+// faults charge retry time into the step timeline. With every GPU dead the
+// work is executed on the CPU instead (the Fig. 7 baseline path); because
+// partitioning never splits a target node, the forces are bit-identical to
+// the healthy GPU path no matter which devices survive.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,7 @@
 #include "gpusim/gpu_model.hpp"
 #include "gpusim/partition.hpp"
 #include "gpusim/transfer.hpp"
+#include "machine/health.hpp"
 #include "octree/octree.hpp"
 #include "octree/traversal.hpp"
 
@@ -37,15 +46,39 @@ struct GpuSystemConfig {
   }
 };
 
+// Current relative capability of each configured device: nominal throughput
+// (SMs x clock x flops/cycle) scaled by health (0 for dead devices). With no
+// health registry every device is at its nominal weight.
+std::vector<double> device_weights(const GpuSystemConfig& system,
+                                   const MachineHealth* health = nullptr);
+
+// Device config as currently clocked (throttle applied); identity when
+// healthy.
+GpuDeviceConfig effective_device(const GpuDeviceConfig& dev,
+                                 const MachineHealth* health, std::size_t g);
+
 struct GpuRunResult {
   std::vector<GpuKernelTiming> per_gpu;
   double max_kernel_seconds = 0.0;  // the paper's "GPU Time"
   std::uint64_t total_interactions = 0;
   double imbalance = 1.0;
+  // All GPUs lost: the near field ran on the CPU; max_kernel_seconds is 0
+  // and the caller charges total_interactions through the CPU cost model.
+  bool cpu_fallback = false;
   // CPU-GPU communication timeline of the step (Section III.D): the
   // non-blocking launch, upload+kernel completion, and the blocking gather.
   StepTimeline timeline;
 };
+
+// Timing-only evaluation of the P2P phase (no numerics): capability-weighted
+// partition, per-device kernel simulation at current clocks, transfer
+// timeline with retries. Exactly the timing path of run_p2p, shared with the
+// machine model's observe helpers and the benches.
+GpuRunResult simulate_p2p_timing(const AdaptiveOctree& tree,
+                                 const std::vector<P2PWork>& work,
+                                 double flops_per_interaction,
+                                 const GpuSystemConfig& system,
+                                 const MachineHealth* health = nullptr);
 
 // Shapes of the work items assigned to one device.
 std::vector<GpuWorkShape> collect_shapes(const AdaptiveOctree& tree,
@@ -60,16 +93,13 @@ GpuRunResult run_p2p(const AdaptiveOctree& tree,
                      std::span<const typename Kernel::Source> sources,
                      std::span<const std::uint32_t> ids,
                      const GpuSystemConfig& system,
-                     std::span<typename Kernel::Accum> out) {
-  GpuRunResult result;
-  const int g = static_cast<int>(system.devices.size());
-  const auto assignment = partition_p2p_work(work, g, system.partition);
-  result.imbalance = partition_imbalance(work, assignment);
-  std::vector<GpuTransferShape> transfers;
-
-  for (int dev = 0; dev < g; ++dev) {
-    // Numeric execution of this device's share.
-    for (int wi : assignment[dev]) {
+                     std::span<typename Kernel::Accum> out,
+                     const MachineHealth* health = nullptr) {
+  // A single accumulation routine serves both the per-device shares and the
+  // all-GPUs-lost CPU fallback: per-target source order depends only on the
+  // work item itself, so the forces are bitwise identical either way.
+  auto execute = [&](const std::vector<int>& assigned) {
+    for (int wi : assigned) {
       const P2PWork& w = work[wi];
       const OctreeNode& t = tree.node(w.target);
       for (std::uint32_t bt = t.begin; bt < t.begin + t.count; ++bt) {
@@ -83,26 +113,21 @@ GpuRunResult run_p2p(const AdaptiveOctree& tree,
         out[bt] += acc;
       }
     }
-    // Virtual timing of this device's share.
-    const auto shapes = collect_shapes(tree, work, assignment[dev]);
-    auto timing = simulate_kernel(system.devices[dev], shapes,
-                                  Kernel::flops_per_interaction());
-    result.total_interactions += timing.interactions;
-    result.max_kernel_seconds =
-        std::max(result.max_kernel_seconds, timing.seconds);
+  };
 
-    std::uint64_t targets = 0;
-    std::uint64_t list_entries = 0;
-    for (int wi : assignment[dev]) {
-      targets += tree.node(work[wi].target).count;
-      list_entries += work[wi].sources.size();
-    }
-    transfers.push_back(gravity_transfer_shape(
-        sources.size(), targets, list_entries, timing.seconds));
-
-    result.per_gpu.push_back(std::move(timing));
+  GpuRunResult result =
+      simulate_p2p_timing(tree, work, Kernel::flops_per_interaction(), system,
+                          health);
+  if (result.cpu_fallback) {
+    std::vector<int> all(work.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+    execute(all);
+    return result;
   }
-  result.timeline = plan_step(system.link, transfers);
+
+  const auto weights = device_weights(system, health);
+  const auto assignment = partition_p2p_work(work, weights, system.partition);
+  for (const auto& assigned : assignment) execute(assigned);
   return result;
 }
 

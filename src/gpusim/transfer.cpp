@@ -4,27 +4,84 @@
 
 namespace afmm {
 
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool TransferFaultModel::attempt_fails(std::uint64_t key, int attempt) const {
+  if (fail_prob <= 0.0) return false;
+  if (fail_prob >= 1.0) return true;
+  const std::uint64_t h =
+      splitmix64(seed ^ splitmix64(key) ^
+                 (static_cast<std::uint64_t>(attempt) * 0xd6e8feb86659fd93ull));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < fail_prob;
+}
+
 double transfer_seconds(const TransferLinkConfig& link, std::uint64_t bytes) {
   if (bytes == 0) return 0.0;
   return link.latency_us * 1e-6 +
          static_cast<double>(bytes) / (link.bandwidth_gbs * 1e9);
 }
 
+double transfer_seconds_with_retries(const TransferLinkConfig& link,
+                                     std::uint64_t bytes,
+                                     const TransferFaultModel& faults,
+                                     std::uint64_t key, int* retries_out) {
+  const double once = transfer_seconds(link, bytes);
+  if (once == 0.0 || !faults.active()) return once;
+
+  double total = 0.0;
+  double backoff = link.backoff_base_us * 1e-6;
+  for (int attempt = 0; attempt < link.max_retries; ++attempt) {
+    if (!faults.attempt_fails(key, attempt)) return total + once;
+    // Failed attempt: the transfer time was spent, then we back off.
+    total += once + backoff;
+    backoff *= link.backoff_multiplier;
+    if (retries_out) ++*retries_out;
+  }
+  // Transient faults only: the final attempt goes through.
+  return total + once;
+}
+
 StepTimeline plan_step(const TransferLinkConfig& link,
                        const std::vector<GpuTransferShape>& gpus) {
+  return plan_step(link, gpus, TransferFaultModel{});
+}
+
+StepTimeline plan_step(const TransferLinkConfig& link,
+                       const std::vector<GpuTransferShape>& gpus,
+                       const TransferFaultModel& faults) {
   StepTimeline tl;
   tl.launch_seconds = link.host_launch_us * 1e-6 *
                       static_cast<double>(std::max<std::size_t>(gpus.size(), 1));
+  std::uint64_t key = 0;
   for (const auto& g : gpus) {
+    int up_retries = 0;
+    int down_retries = 0;
+    const double up =
+        transfer_seconds_with_retries(link, g.upload_bytes, faults, key++,
+                                      &up_retries);
+    const double down =
+        transfer_seconds_with_retries(link, g.download_bytes, faults, key++,
+                                      &down_retries);
     // Upload then kernel on this GPU's stream; GPUs run concurrently.
-    const double done =
-        transfer_seconds(link, g.upload_bytes) + g.kernel_seconds;
-    tl.gpu_done_seconds = std::max(tl.gpu_done_seconds, done);
+    tl.gpu_done_seconds = std::max(tl.gpu_done_seconds, up + g.kernel_seconds);
     // Downloads happen in the blocking gather; bandwidth overlaps across
     // GPUs (each has its own link in the paper's 4-GPU node), so the gather
     // cost is the slowest single download.
-    tl.download_seconds =
-        std::max(tl.download_seconds, transfer_seconds(link, g.download_bytes));
+    tl.download_seconds = std::max(tl.download_seconds, down);
+    tl.retries += up_retries + down_retries;
+    tl.retry_seconds += (up - transfer_seconds(link, g.upload_bytes)) +
+                        (down - transfer_seconds(link, g.download_bytes));
   }
   return tl;
 }

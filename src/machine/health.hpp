@@ -1,0 +1,84 @@
+// Mutable health registry of the virtual node.
+//
+// The configuration structs (CpuModelConfig, GpuSystemConfig) describe the
+// machine as PROVISIONED; MachineHealth describes it as it is RIGHT NOW:
+// which GPUs are alive, how far each one's clock has been throttled, how
+// many CPU cores survive preemption by co-tenants, and whether the CPU-GPU
+// links are currently dropping transfers. The fault injector (faults/) is
+// the only writer in normal operation; NodeSimulator and the P2P executor
+// consult it every step, so the load balancer always balances the machine
+// that is actually there.
+//
+// `fault_epoch` increments on every applied change, letting observers tell
+// "the machine changed" apart from "the workload changed" without comparing
+// every field.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace afmm {
+
+struct GpuHealth {
+  bool alive = true;
+  // Current clock as a fraction of the configured clock: 1.0 nominal,
+  // < 1.0 thermally throttled. Ignored while !alive.
+  double clock_scale = 1.0;
+};
+
+struct MachineHealth {
+  std::vector<GpuHealth> gpus;
+  // Cores currently usable; never above the provisioned count. A value of 0
+  // still schedules on one core (the process itself always runs somewhere).
+  int cpu_cores_available = 0;
+  int cpu_cores_provisioned = 0;
+  // Probability that a single CPU-GPU transfer attempt fails while a
+  // transient-fault window is active (0 = healthy links).
+  double transfer_fault_prob = 0.0;
+  // Seed the transfer retry model draws from; the fault injector rotates it
+  // per step so retries are deterministic per (schedule seed, step).
+  std::uint64_t transfer_seed = 0;
+  // Incremented by every applied fault/recovery event.
+  std::uint64_t fault_epoch = 0;
+
+  // (Re)provision for `num_gpus` devices and `cores` CPU cores, all healthy.
+  void reset(std::size_t num_gpus, int cores) {
+    gpus.assign(num_gpus, GpuHealth{});
+    cpu_cores_available = cores;
+    cpu_cores_provisioned = cores;
+    transfer_fault_prob = 0.0;
+    transfer_seed = 0;
+    fault_epoch = 0;
+  }
+
+  bool nominal() const {
+    if (cpu_cores_available < cpu_cores_provisioned) return false;
+    if (transfer_fault_prob > 0.0) return false;
+    for (const auto& g : gpus)
+      if (!g.alive || g.clock_scale < 1.0) return false;
+    return true;
+  }
+
+  int num_alive_gpus() const {
+    int n = 0;
+    for (const auto& g : gpus) n += g.alive ? 1 : 0;
+    return n;
+  }
+
+  // Relative capability of device `g` (0 when dead or out of range).
+  double gpu_scale(std::size_t g) const {
+    if (g >= gpus.size() || !gpus[g].alive) return 0.0;
+    return gpus[g].clock_scale > 0.0 ? gpus[g].clock_scale : 0.0;
+  }
+
+  // Sum of per-GPU clock scales over alive devices; the "how much GPU is
+  // left" figure step records report (provisioned healthy = num devices).
+  double total_gpu_capability() const {
+    double c = 0.0;
+    for (std::size_t g = 0; g < gpus.size(); ++g) c += gpu_scale(g);
+    return c;
+  }
+};
+
+}  // namespace afmm

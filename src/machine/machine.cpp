@@ -128,7 +128,10 @@ ObservedStepTimes NodeSimulator::simulate_far_field(
     const ExpansionContext& ctx, const AdaptiveOctree& tree,
     const InteractionLists& lists, int m2l_passes) const {
   ObservedStepTimes t;
-  const auto bd = build_and_schedule(ctx, tree, lists, cpu_, m2l_passes);
+  // Preempted cores do not schedule tasks: the graph runs on what is left.
+  CpuModelConfig cpu = cpu_;
+  cpu.num_cores = effective_cores();
+  const auto bd = build_and_schedule(ctx, tree, lists, cpu, m2l_passes);
   t.cpu_seconds = bd.up_makespan + bd.down_makespan;
   t.counts = count_operations(tree, lists);
   t.t_p2m = bd.t_p2m;
@@ -152,6 +155,32 @@ double NodeSimulator::serial_all_cpu_seconds(const ExpansionContext& ctx,
   const double p2p = serial.task_seconds(
       static_cast<double>(counts.p2p_interactions) * serial.p2p_flops, 1);
   return bd.up_makespan + bd.down_makespan + p2p;
+}
+
+double NodeSimulator::cpu_p2p_seconds(std::uint64_t interactions) const {
+  const int p = effective_cores();
+  // Direct interactions parallelize embarrassingly over target nodes, so the
+  // wall clock is the contended per-core time divided by the active cores.
+  return cpu_.task_seconds(static_cast<double>(interactions) * cpu_.p2p_flops,
+                           p) /
+         static_cast<double>(p);
+}
+
+ObservedStepTimes NodeSimulator::observe_step(const ExpansionContext& ctx,
+                                              const AdaptiveOctree& tree,
+                                              const InteractionLists& lists,
+                                              double flops_per_interaction,
+                                              int m2l_passes) const {
+  ObservedStepTimes t = simulate_far_field(ctx, tree, lists, m2l_passes);
+  const auto gpu = simulate_p2p_timing(tree, lists.p2p, flops_per_interaction,
+                                       gpus_, &health_);
+  if (gpu.cpu_fallback) {
+    t.cpu_p2p_seconds = cpu_p2p_seconds(gpu.total_interactions);
+  } else {
+    t.gpu_seconds = gpu.max_kernel_seconds;
+  }
+  t.transfer_retries = gpu.timeline.retries;
+  return t;
 }
 
 double NodeSimulator::rebuild_seconds(std::size_t bodies, int nodes) const {

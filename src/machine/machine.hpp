@@ -18,10 +18,12 @@
 // reproduces the paper's mild superlinearity on 2+ sockets.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "expansion/operators.hpp"
 #include "gpusim/p2p_executor.hpp"
+#include "machine/health.hpp"
 #include "octree/octree.hpp"
 #include "octree/traversal.hpp"
 
@@ -56,11 +58,21 @@ struct CpuModelConfig {
 // One step's observed timings; the "observational coefficients" of Section
 // IV.D are derived from op_seconds[i] / op_counts.
 struct ObservedStepTimes {
-  double cpu_seconds = 0.0;
-  double gpu_seconds = 0.0;
+  double cpu_seconds = 0.0;      // far-field task-graph makespan
+  double gpu_seconds = 0.0;      // max kernel time over alive GPUs
+  // Near-field time when it ran on the CPU instead (all GPUs lost); the
+  // far field and the CPU near field serialize on the same cores.
+  double cpu_p2p_seconds = 0.0;
+  // Failed transfer attempts charged by the retry model this step.
+  int transfer_retries = 0;
   double compute_seconds() const {
-    return cpu_seconds > gpu_seconds ? cpu_seconds : gpu_seconds;
+    const double cpu = cpu_seconds + cpu_p2p_seconds;
+    return cpu > gpu_seconds ? cpu : gpu_seconds;
   }
+  // The balancer's two sides of the scale: expansion (far) work vs direct
+  // (near) work, wherever the near field currently executes.
+  double far_seconds() const { return cpu_seconds; }
+  double near_seconds() const { return gpu_seconds + cpu_p2p_seconds; }
 
   OpCounts counts;
   // Total virtual seconds spent in each far-field operation, summed over all
@@ -78,11 +90,29 @@ struct ObservedStepTimes {
 class NodeSimulator {
  public:
   NodeSimulator(CpuModelConfig cpu, GpuSystemConfig gpus)
-      : cpu_(cpu), gpus_(std::move(gpus)) {}
+      : cpu_(cpu), gpus_(std::move(gpus)) {
+    health_.reset(gpus_.devices.size(), cpu_.num_cores);
+  }
 
   const CpuModelConfig& cpu() const { return cpu_; }
   const GpuSystemConfig& gpus() const { return gpus_; }
-  void set_cpu_cores(int cores) { cpu_.num_cores = cores; }
+  void set_cpu_cores(int cores) {
+    cpu_.num_cores = cores;
+    health_.reset(gpus_.devices.size(), cores);
+  }
+
+  // Live health registry (written by the fault injector, read everywhere the
+  // provisioned configuration used to be consulted).
+  MachineHealth& health() { return health_; }
+  const MachineHealth& health() const { return health_; }
+
+  // Cores usable right now: provisioned count minus preemption.
+  int effective_cores() const {
+    const int avail = health_.cpu_cores_available > 0
+                          ? health_.cpu_cores_available
+                          : cpu_.num_cores;
+    return std::max(1, avail < cpu_.num_cores ? avail : cpu_.num_cores);
+  }
 
   // Far-field timing: builds the up/down-sweep task graphs for `tree` with
   // `lists` and returns CPU time + op totals. `flops_per_interaction` of the
@@ -100,6 +130,22 @@ class NodeSimulator {
                                 const InteractionLists& lists,
                                 int m2l_passes = 1) const;
 
+  // Task-parallel CPU time of `interactions` direct interactions on the
+  // currently effective cores -- the near-field cost when every GPU is lost
+  // (graceful-degradation fallback; embarrassingly parallel over targets).
+  double cpu_p2p_seconds(std::uint64_t interactions) const;
+
+  // Full timing-only observation of one solve on `tree`: far-field task
+  // graphs on the effective cores plus the P2P phase on the surviving GPUs
+  // (capability-weighted partition, throttled clocks, transfer retries) or
+  // the CPU fallback. This is exactly what a real solve reports, minus the
+  // numerics -- benches and balancer tests drive the machine through it.
+  ObservedStepTimes observe_step(const ExpansionContext& ctx,
+                                 const AdaptiveOctree& tree,
+                                 const InteractionLists& lists,
+                                 double flops_per_interaction = 20.0,
+                                 int m2l_passes = 1) const;
+
   // Tree maintenance cost model (rebuilds / rebins / enforce passes), used
   // to charge load-balancing time. Coarse per-body / per-node constants.
   double rebuild_seconds(std::size_t bodies, int nodes) const;
@@ -109,6 +155,7 @@ class NodeSimulator {
  private:
   CpuModelConfig cpu_;
   GpuSystemConfig gpus_;
+  MachineHealth health_;
 };
 
 }  // namespace afmm

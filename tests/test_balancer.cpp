@@ -229,6 +229,94 @@ TEST_F(BalancerLoop, FgoImprovesPredictedComputeWhenUnbalanced) {
   EXPECT_GE(fgo, 0);
 }
 
+// Scale every observed time by `f` (counts untouched): synthetic noise /
+// drift that looks like the whole machine got uniformly slower.
+ObservedStepTimes scaled(ObservedStepTimes t, double f) {
+  t.cpu_seconds *= f;
+  t.gpu_seconds *= f;
+  t.cpu_p2p_seconds *= f;
+  t.t_p2m *= f;
+  t.t_m2m *= f;
+  t.t_m2l *= f;
+  t.t_l2l *= f;
+  t.t_l2p *= f;
+  return t;
+}
+
+TEST_F(BalancerLoop, InBandNoiseKeepsObservationIdle) {
+  LoadBalancerConfig cfg;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+  drive(lb, tree, 40);
+  ASSERT_EQ(lb.state(), LbState::kObservation);
+
+  // Observations jittered inside the 5% band AROUND THE RECORDED BEST: the
+  // balancer must not touch anything -- no enforcement, no fine tuning, no
+  // state change, no shift. (The steady-state compute can already sit near
+  // the band edge, so the jitter is anchored to the balancer's own best.)
+  double best = lb.post_step(tree, set_.positions,
+                             observe_tree(tree, *node_, *ctx_), *node_)
+                    .best_compute;
+  for (double ratio : {1.04, 0.99, 1.03, 1.01}) {
+    auto base = observe_tree(tree, *node_, *ctx_);
+    const auto obs = scaled(base, ratio * best / base.compute_seconds());
+    const auto r = lb.post_step(tree, set_.positions, obs, *node_);
+    EXPECT_EQ(r.state_after, LbState::kObservation) << "ratio=" << ratio;
+    EXPECT_FALSE(r.rebuilt);
+    EXPECT_EQ(r.enforce_ops, 0);
+    EXPECT_EQ(r.fgo_ops, 0);
+    EXPECT_FALSE(r.capability_shift);
+    EXPECT_DOUBLE_EQ(r.lb_seconds, 0.0);
+    best = r.best_compute;
+  }
+}
+
+TEST_F(BalancerLoop, OutOfBandNoiseWalksEnforcementNotShift) {
+  LoadBalancerConfig cfg;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+  drive(lb, tree, 40);
+  ASSERT_EQ(lb.state(), LbState::kObservation);
+
+  // A persistent 25% uniform slowdown is outside the band but below the
+  // capability-shift threshold (and the health epoch never moved): the
+  // balancer must react through the Section V path -- Enforce_S, prediction,
+  // FineGrainedOptimize, falling back to Incremental -- and never through a
+  // coefficient reset.
+  bool reacted = false;
+  for (int i = 0; i < 6; ++i) {
+    const auto obs = scaled(observe_tree(tree, *node_, *ctx_), 1.25);
+    const auto r = lb.post_step(tree, set_.positions, obs, *node_);
+    EXPECT_FALSE(r.capability_shift);
+    EXPECT_NE(r.state_after, LbState::kSearch);
+    if (r.state_before == LbState::kObservation &&
+        (r.lb_seconds > 0.0 || r.fgo_ops > 0))
+      reacted = true;
+  }
+  EXPECT_TRUE(reacted);
+}
+
+TEST_F(BalancerLoop, EpochChangeAloneDoesNotTriggerShift) {
+  LoadBalancerConfig cfg;
+  LoadBalancer lb(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set_.positions, unit_config(cfg.initial_S));
+  drive(lb, tree, 40);
+  ASSERT_EQ(lb.state(), LbState::kObservation);
+
+  // A fault event that does not change observed behavior (e.g. a transfer
+  // window that never fires) bumps the epoch; with no divergence there must
+  // be no shift.
+  node_->health().fault_epoch++;
+  const auto reports = drive(lb, tree, 8);
+  for (const auto& r : reports) {
+    EXPECT_FALSE(r.capability_shift);
+    EXPECT_EQ(r.state_after, LbState::kObservation);
+  }
+}
+
 TEST(LoadBalancer, IncrementalTransitionRecordsObservedComputeExactly) {
   // Search -> Incremental -> Observation with controlled observations: the
   // dominant-device flip must record exactly min(observed, best) -- the old

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "balance/cost_model.hpp"
 #include "core/fmm_solver.hpp"
@@ -184,6 +185,72 @@ TEST(CostModel, PredictionTracksCollapseDirection) {
 
   EXPECT_LT(model.predict_cpu(counts1, 10), model.predict_cpu(counts0, 10));
   EXPECT_GT(model.predict_gpu(counts1), model.predict_gpu(counts0));
+}
+
+TEST(CostModel, NonFiniteTimesNeverPoisonCoefficients) {
+  CostModel model(1.0);
+  ObservedStepTimes good;
+  good.t_m2l = 1.0;
+  good.counts.m2l = 100;
+  good.gpu_seconds = 0.1;
+  good.counts.p2p_interactions = 10;
+  good.cpu_seconds = 1.0;
+  model.observe(good, 4);
+  const auto before = model.coefficients();
+
+  ObservedStepTimes bad = good;
+  bad.t_m2l = std::numeric_limits<double>::quiet_NaN();
+  bad.gpu_seconds = std::numeric_limits<double>::infinity();
+  bad.t_p2m = -1.0;  // negative totals are rejected too
+  bad.counts.p2m_bodies = 10;
+  model.observe(bad, 4);
+
+  const auto& after = model.coefficients();
+  EXPECT_DOUBLE_EQ(after.m2l, before.m2l);
+  EXPECT_DOUBLE_EQ(after.p2p, before.p2p);
+  EXPECT_DOUBLE_EQ(after.p2m_per_body, 0.0);
+  EXPECT_TRUE(std::isfinite(model.predict_compute(good.counts, 4)));
+}
+
+TEST(CostModel, CpuFallbackStepDoesNotZeroTheGpuCoefficient) {
+  CostModel model(1.0);
+  ObservedStepTimes gpu_step;
+  gpu_step.gpu_seconds = 0.5;
+  gpu_step.counts.p2p_interactions = 1000;
+  gpu_step.cpu_seconds = 0.5;
+  model.observe(gpu_step, 4);
+  const double p2p = model.coefficients().p2p;
+  ASSERT_GT(p2p, 0.0);
+
+  // All GPUs lost: the same interactions ran on the CPU. The GPU coefficient
+  // must survive untouched (a zero sample would predict a free GPU), and the
+  // CPU near-field coefficient is learned instead.
+  ObservedStepTimes fallback_step;
+  fallback_step.cpu_p2p_seconds = 2.0;
+  fallback_step.counts.p2p_interactions = 1000;
+  fallback_step.cpu_seconds = 0.5;
+  model.observe(fallback_step, 4);
+  EXPECT_DOUBLE_EQ(model.coefficients().p2p, p2p);
+  EXPECT_DOUBLE_EQ(model.coefficients().p2p_cpu, 2.0 / 1000);
+  EXPECT_DOUBLE_EQ(model.predict_near(fallback_step.counts),
+                   0.5 + 2.0);  // both live only across the transition
+}
+
+TEST(CostModel, ResetDropsEverything) {
+  CostModel model(0.5);
+  ObservedStepTimes t;
+  t.t_m2l = 1.0;
+  t.counts.m2l = 10;
+  t.cpu_seconds = 1.0;
+  model.observe(t, 2);
+  ASSERT_TRUE(model.ready());
+  model.reset();
+  EXPECT_FALSE(model.ready());
+  EXPECT_EQ(model.observations(), 0);
+  EXPECT_DOUBLE_EQ(model.coefficients().m2l, 0.0);
+  // The smoothing constant survives: the next observation seeds cleanly.
+  model.observe(t, 2);
+  EXPECT_DOUBLE_EQ(model.coefficients().m2l, 0.1);
 }
 
 TEST(CostModel, NotReadyBeforeFirstObservation) {

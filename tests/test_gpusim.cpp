@@ -176,8 +176,34 @@ TEST(Partition, SingleGpuGetsEverything) {
   EXPECT_DOUBLE_EQ(partition_imbalance(work, parts), 1.0);
 }
 
-TEST(Partition, RejectsZeroGpus) {
-  EXPECT_THROW(partition_p2p_work({}, 0), std::invalid_argument);
+// Degenerate-input contract: num_gpus <= 0 yields an empty outer vector
+// (no devices to assign to); empty work yields num_gpus empty per-GPU lists.
+// Callers treat the empty outer vector as "fall back to the CPU".
+TEST(Partition, ZeroGpusReturnsEmptyOuterVector) {
+  EXPECT_TRUE(partition_p2p_work({}, 0).empty());
+  EXPECT_TRUE(partition_p2p_work({}, -3).empty());
+  std::vector<P2PWork> work(4);
+  for (int i = 0; i < 4; ++i) work[i] = {i, {}, 8};
+  EXPECT_TRUE(partition_p2p_work(work, 0).empty());
+}
+
+TEST(Partition, EmptyWorkReturnsPerGpuEmptyLists) {
+  for (auto scheme :
+       {PartitionScheme::kInteractionWalk, PartitionScheme::kNodeCount,
+        PartitionScheme::kLptInteractions}) {
+    const auto parts = partition_p2p_work({}, 3, scheme);
+    ASSERT_EQ(parts.size(), 3u);
+    for (const auto& p : parts) EXPECT_TRUE(p.empty());
+  }
+}
+
+TEST(Partition, AllZeroWeightsReturnsAllEmpty) {
+  std::vector<P2PWork> work(4);
+  for (int i = 0; i < 4; ++i) work[i] = {i, {}, 8};
+  const std::vector<double> weights{0.0, 0.0};
+  const auto parts = partition_p2p_work(work, weights);
+  ASSERT_EQ(parts.size(), 2u);
+  for (const auto& p : parts) EXPECT_TRUE(p.empty());
 }
 
 // -------------------------------------------------------------- executor ----
