@@ -51,6 +51,7 @@ ErrorStats error_stats(std::span<const double> pot,
 
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 4000);
+  validate_args(argc, argv);
 
   Rng rng(2013);
   PlummerOptions opt;

@@ -15,6 +15,7 @@ using namespace afmm::bench;
 
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 100000);
+  validate_args(argc, argv);
 
   Rng rng(2013);
   PlummerOptions opt;

@@ -17,6 +17,7 @@ using namespace afmm::bench;
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 60000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 4));
+  validate_args(argc, argv);
 
   Rng rng(2013);
   PlummerOptions opt;

@@ -45,6 +45,8 @@ double time_build(const AdaptiveOctree& tree, const TraversalConfig& config,
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 200000);
   const long reps = arg_or(argc, argv, "reps", 3);
+  const long steps = arg_or(argc, argv, "steps", 100);
+  validate_args(argc, argv);
 
   Table build_table(
       {"dist", "S", "threads", "serial_s", "parallel_s", "speedup"});
@@ -90,7 +92,6 @@ int main(int argc, char** argv) {
   // Cache hit rate over a balancer-shaped loop: every step runs one dry_run
   // and one solve's worth of get() calls (the solve reads the lists twice);
   // every `rebuild_every` steps the structure changes (Enforce_S-style).
-  const long steps = arg_or(argc, argv, "steps", 100);
   Table cache_table(
       {"rebuild_every", "gets", "builds", "hits", "hit_rate"});
   cache_table.mirror_csv("ablation_traversal_cache.csv");

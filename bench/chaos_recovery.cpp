@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   const int order = static_cast<int>(arg_or(argc, argv, "order", 4));
   const int W = static_cast<int>(arg_or(argc, argv, "window", 40));
   const long seed = arg_or(argc, argv, "seed", 0x5eed);
+  validate_args(argc, argv);
   const int steps = 8 * W;
 
   Rng rng(61);

@@ -9,6 +9,10 @@
 // the code paths the load balancer sees.
 #pragma once
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -111,16 +115,85 @@ std::vector<ReplayRecord> replay_strategy(
   return out;
 }
 
-// Simple "--key value" argument lookup with environment fallback
-// (AFMM_<KEY>), so `for b in build/bench/*; do $b; done` runs with defaults
-// while full-scale runs stay one flag away.
+// ---- command-line handling -------------------------------------------------
+//
+// Benches take "--key value" pairs with environment fallback (AFMM_<KEY>),
+// so `for b in build/bench/*; do $b; done` runs with defaults while
+// full-scale runs stay one flag away. Parsing is strict: a malformed,
+// out-of-range or negative numeric aborts with a clear message instead of
+// silently running the wrong experiment, and validate_args() rejects unknown
+// or valueless keys with a usage line listing every key the bench consumed.
+
+namespace detail {
+
+// Keys this binary has looked up (in lookup order), for the usage line.
+inline std::vector<std::string>& known_keys() {
+  static std::vector<std::string> keys;
+  return keys;
+}
+
+inline void register_key(const std::string& key) {
+  auto& keys = known_keys();
+  if (std::find(keys.begin(), keys.end(), key) == keys.end())
+    keys.push_back(key);
+}
+
+[[noreturn]] inline void arg_fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  const auto& keys = known_keys();
+  if (!keys.empty()) {
+    std::fprintf(stderr, "usage: [--<key> <non-negative integer>]...\n");
+    std::fprintf(stderr, "known keys:");
+    for (const auto& k : keys) std::fprintf(stderr, " --%s", k.c_str());
+    std::fprintf(stderr, " (env fallback: AFMM_<KEY>)\n");
+  }
+  std::exit(2);
+}
+
+// Strict non-negative integer parse; `source` names the flag or env var.
+inline long parse_count(const std::string& text, const std::string& source) {
+  if (text.empty()) arg_fail(source + ": empty value");
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0')
+    arg_fail(source + ": '" + text + "' is not an integer");
+  if (errno == ERANGE)
+    arg_fail(source + ": '" + text + "' is out of range");
+  if (value < 0)
+    arg_fail(source + ": " + text + " is negative");
+  return value;
+}
+
+}  // namespace detail
+
 inline long arg_or(int argc, char** argv, const std::string& key, long fallback) {
+  detail::register_key(key);
   for (int i = 1; i + 1 < argc; ++i)
-    if (std::string(argv[i]) == "--" + key) return std::atol(argv[i + 1]);
+    if (std::string(argv[i]) == "--" + key)
+      return detail::parse_count(argv[i + 1], "--" + key);
   std::string env = "AFMM_" + key;
   for (auto& c : env) c = static_cast<char>(std::toupper(c));
-  if (const char* v = std::getenv(env.c_str())) return std::atol(v);
+  if (const char* v = std::getenv(env.c_str()))
+    return detail::parse_count(v, env);
   return fallback;
+}
+
+// Call AFTER every arg_or() lookup: rejects keys the bench never consumes
+// (catches typos like --step for --steps), flags without a value, and bare
+// positional arguments.
+inline void validate_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      detail::arg_fail("unexpected positional argument '" + arg + "'");
+    const std::string key = arg.substr(2);
+    const auto& keys = detail::known_keys();
+    if (std::find(keys.begin(), keys.end(), key) == keys.end())
+      detail::arg_fail("unknown option '" + arg + "'");
+    if (i + 1 >= argc) detail::arg_fail(arg + ": missing value");
+    ++i;  // skip the value
+  }
 }
 
 }  // namespace afmm::bench

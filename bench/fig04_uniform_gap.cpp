@@ -18,6 +18,7 @@ using namespace afmm::bench;
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 50000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
+  validate_args(argc, argv);
 
   Rng rng(2013);
   auto set = uniform_cube(static_cast<std::size_t>(n), rng, {0.5, 0.5, 0.5}, 0.5);

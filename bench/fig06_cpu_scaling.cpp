@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 200000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
   const int s = static_cast<int>(arg_or(argc, argv, "s", 48));
+  validate_args(argc, argv);
 
   Rng rng(2013);
   PlummerOptions opt;

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   // S sweep (the paper uses 1M bodies).
   const long n = arg_or(argc, argv, "n", 200000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
+  validate_args(argc, argv);
 
   Rng rng(2013);
   PlummerOptions opt;

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   const long steps = arg_or(argc, argv, "steps", 600);
   const long upsample = arg_or(argc, argv, "upsample", 24);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 4));
+  validate_args(argc, argv);
 
   // Plummer sphere with max radius 4a inside a box of half-width 16a:
   // the initial cloud occupies (8a)^3 of the (32a)^3 box = 1/64th.

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 40000);
   const long steps = arg_or(argc, argv, "steps", 200);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 4));
+  validate_args(argc, argv);
 
   Rng rng(2013);
   auto set = uniform_cube(static_cast<std::size_t>(n), rng, {0.5, 0.5, 0.5}, 0.5);

@@ -36,6 +36,13 @@ struct CostCoefficients {
   double cpu_efficiency = 1.0;
 };
 
+// Learned state of the model (checkpoint/restore); the smoothing factor is
+// configuration and travels with the owning balancer's config instead.
+struct CostModelSnapshot {
+  CostCoefficients coefficients;
+  int observations = 0;
+};
+
 class CostModel {
  public:
   explicit CostModel(double smoothing = 0.5) : alpha_(smoothing) {}
@@ -51,6 +58,12 @@ class CostModel {
   // coefficients describe hardware that no longer exists, and EWMA-chasing
   // them would poison predictions for many steps.
   void reset() { *this = CostModel(alpha_); }
+
+  CostModelSnapshot snapshot() const { return {c_, observations_}; }
+  void restore(const CostModelSnapshot& snap) {
+    c_ = snap.coefficients;
+    observations_ = snap.observations;
+  }
 
   bool ready() const { return observations_ > 0; }
   int observations() const { return observations_; }

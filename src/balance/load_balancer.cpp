@@ -32,6 +32,51 @@ LoadBalancer::LoadBalancer(const LoadBalancerConfig& config,
       search_lo_(config.min_S),
       search_hi_(config.max_S) {}
 
+LoadBalancerSnapshot LoadBalancer::snapshot() const {
+  LoadBalancerSnapshot s;
+  s.state = state_;
+  s.S = s_;
+  s.search_lo = search_lo_;
+  s.search_hi = search_hi_;
+  s.search_steps = search_steps_;
+  s.last_dominant = last_dominant_;
+  s.best_compute = best_compute_;
+  s.reset_best_next = reset_best_next_;
+  s.last_epoch = last_epoch_;
+  s.epoch_pending = epoch_pending_;
+  s.model = model_.snapshot();
+  return s;
+}
+
+void LoadBalancer::restore(const LoadBalancerSnapshot& snap) {
+  state_ = snap.state;
+  s_ = snap.S;
+  search_lo_ = snap.search_lo;
+  search_hi_ = snap.search_hi;
+  search_steps_ = snap.search_steps;
+  last_dominant_ = snap.last_dominant;
+  best_compute_ = snap.best_compute;
+  reset_best_next_ = snap.reset_best_next;
+  last_epoch_ = snap.last_epoch;
+  epoch_pending_ = snap.epoch_pending;
+  model_.restore(snap.model);
+}
+
+void LoadBalancer::reenter_search() {
+  // Learned coefficients describe a machine (or a run) we no longer trust;
+  // drop them and bisect S from scratch. last_epoch_ is deliberately kept:
+  // it tracks the health registry, not the balancer's own trajectory.
+  model_.reset();
+  state_ = LbState::kSearch;
+  search_lo_ = config_.min_S;
+  search_hi_ = config_.max_S;
+  search_steps_ = 0;
+  last_dominant_ = 0;
+  best_compute_ = -1.0;
+  reset_best_next_ = false;
+  epoch_pending_ = 0;
+}
+
 bool LoadBalancer::gap_ok(const ObservedStepTimes& t) const {
   // Far (expansion) vs near (direct) work, wherever the near field runs:
   // identical to |CPU - GPU| on a healthy machine, and still meaningful when
@@ -198,15 +243,7 @@ LbStepReport LoadBalancer::post_step(AdaptiveOctree& tree,
     // The machine itself changed: the learned coefficients describe hardware
     // that no longer exists. Drop them and re-search S from scratch for the
     // surviving capability.
-    model_.reset();
-    state_ = LbState::kSearch;
-    search_lo_ = config_.min_S;
-    search_hi_ = config_.max_S;
-    search_steps_ = 0;
-    last_dominant_ = 0;
-    best_compute_ = -1.0;
-    reset_best_next_ = false;
-    epoch_pending_ = 0;
+    reenter_search();
     r.capability_shift = true;
   }
 

@@ -101,6 +101,23 @@ struct LbStepReport {
   bool capability_shift = false;
 };
 
+// Full mutable state of the balancer (checkpoint/restore): restoring it onto
+// a balancer constructed with the same config replays the identical Search /
+// Incremental / Observation trajectory the snapshot interrupted.
+struct LoadBalancerSnapshot {
+  LbState state = LbState::kSearch;
+  int S = 0;
+  int search_lo = 0;
+  int search_hi = 0;
+  int search_steps = 0;
+  int last_dominant = 0;
+  double best_compute = -1.0;
+  bool reset_best_next = false;
+  std::uint64_t last_epoch = 0;
+  int epoch_pending = 0;
+  CostModelSnapshot model;
+};
+
 class LoadBalancer {
  public:
   LoadBalancer(const LoadBalancerConfig& config, TraversalConfig traversal);
@@ -116,6 +133,16 @@ class LoadBalancer {
   int current_S() const { return s_; }
   LbState state() const { return state_; }
   const CostModel& cost_model() const { return model_; }
+
+  LoadBalancerSnapshot snapshot() const;
+  void restore(const LoadBalancerSnapshot& snap);
+
+  // Drop every learned coefficient and restart the S search from scratch.
+  // This is the capability-shift reaction (the machine changed under us) and
+  // equally the rollback recovery path: after restoring a checkpoint the
+  // simulation calls this so the balancer re-learns the machine instead of
+  // trusting coefficients that may predate the corruption.
+  void reenter_search();
 
   // Share an interaction-list cache (typically the solver's) so dry runs
   // reuse the last solve's traversal and vice versa; nullptr (the default)

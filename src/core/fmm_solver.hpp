@@ -131,6 +131,7 @@ class StokesletSolver {
 
   const HarmonicFarField& far_field() const { return far_; }
   NodeSimulator& node() { return node_; }
+  const NodeSimulator& node() const { return node_; }
 
   // See GravitySolver::set_list_cache.
   void set_list_cache(InteractionListCache* cache) { external_cache_ = cache; }

@@ -1,5 +1,8 @@
 #include "core/simulation.hpp"
 
+#include <limits>
+#include <stdexcept>
+
 namespace afmm {
 
 GravitySimulation::GravitySimulation(const SimulationConfig& config,
@@ -15,6 +18,32 @@ GravitySimulation::GravitySimulation(const SimulationConfig& config,
   tc.leaf_capacity = config_.balancer.initial_S;
   tree_.build(bodies_.positions, tc);
   initial_solve();
+  init_resilience();
+}
+
+GravitySimulation::GravitySimulation(const SimulationConfig& config,
+                                     NodeSimulator node,
+                                     const SimCheckpoint& ckpt)
+    : config_(config),
+      solver_(config.fmm, std::move(node), GravityKernel(config.softening)),
+      balancer_(config.balancer, config.fmm.traversal),
+      injector_(config.faults, config.fault_seed) {
+  solver_.set_list_cache(&list_cache_);
+  balancer_.set_list_cache(&list_cache_);
+  restore(ckpt);
+  init_resilience();
+}
+
+void GravitySimulation::init_resilience() {
+  const ResilienceConfig& rz = config_.resilience;
+  if (!rz.enabled()) return;
+  watchdog_ = StepWatchdog(rz.watchdog);
+  if (!rz.checkpoint_dir.empty())
+    store_.emplace(rz.checkpoint_dir, rz.checkpoint_keep);
+  // Seed the rollback target so recovery works before the first scheduled
+  // checkpoint. For a restored run this re-snapshots the restored state.
+  last_good_ = checkpoint();
+  if (store_ && rz.checkpoint_interval > 0) store_->save(*last_good_);
 }
 
 void GravitySimulation::initial_solve() {
@@ -27,6 +56,37 @@ void GravitySimulation::initial_solve() {
 }
 
 StepRecord GravitySimulation::step() {
+  const ResilienceConfig& rz = config_.resilience;
+  if (!rz.enabled()) return step_core();
+
+  watchdog_.arm();
+  StepRecord rec = step_core();
+  rec.watchdog_tripped = watchdog_.tripped(rec.total_seconds());
+
+  // Every audit / checkpoint below only READS simulation state, so a healthy
+  // resilient run stays bit-identical to the same run without resilience.
+  const bool checkpoint_due = rz.checkpoint_interval > 0 &&
+                              step_count_ % rz.checkpoint_interval == 0;
+  const bool audit_due =
+      (rz.audit.interval > 0 && step_count_ % rz.audit.interval == 0) ||
+      checkpoint_due;  // never snapshot state that has not passed an audit
+  bool failed = rec.watchdog_tripped;
+  if (!failed && audit_due) {
+    rec.audited = true;
+    rec.audit_failed = !run_audit().ok();
+    failed = rec.audit_failed;
+  }
+  if (failed && rz.rollback_on_failure) {
+    roll_back(rec);
+  } else if (!failed && checkpoint_due) {
+    last_good_ = checkpoint();
+    if (store_) store_->save(*last_good_);
+    rec.checkpointed = true;
+  }
+  return rec;
+}
+
+StepRecord GravitySimulation::step_core() {
   StepRecord rec;
   rec.step = step_count_;
 
@@ -84,6 +144,97 @@ std::vector<StepRecord> GravitySimulation::run(int n) {
   out.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) out.push_back(step());
   return out;
+}
+
+SimCheckpoint GravitySimulation::checkpoint() const {
+  SimCheckpoint c;
+  c.kind = SimKind::kGravity;
+  c.step = step_count_;
+  c.bodies = bodies_;
+  c.accel = accel_;
+  c.potential = potential_;
+  c.has_observed = last_observed_.has_value();
+  if (last_observed_) c.observed = *last_observed_;
+  c.tree = tree_.snapshot();
+  c.balancer = balancer_.snapshot();
+  c.health = solver_.node().health();
+  c.injector = injector_.snapshot();
+  return c;
+}
+
+void GravitySimulation::restore(const SimCheckpoint& ckpt) {
+  if (ckpt.kind != SimKind::kGravity)
+    throw std::invalid_argument("checkpoint is not a gravity simulation");
+  step_count_ = ckpt.step;
+  bodies_ = ckpt.bodies;
+  accel_ = ckpt.accel;
+  potential_ = ckpt.potential;
+  if (ckpt.has_observed)
+    last_observed_ = ckpt.observed;
+  else
+    last_observed_.reset();
+  tree_.restore(ckpt.tree);
+  balancer_.restore(ckpt.balancer);
+  solver_.node().health() = ckpt.health;
+  injector_.restore(ckpt.injector);
+}
+
+AuditReport GravitySimulation::run_audit() const {
+  const AuditConfig& a = config_.resilience.audit;
+  AuditReport report;
+  audit_tree(tree_, balancer_.current_S(), a.leaf_capacity_slack, report);
+  audit_finite(std::span<const Vec3>(bodies_.positions), "position", report);
+  audit_finite(std::span<const Vec3>(bodies_.velocities), "velocity", report);
+  audit_finite(std::span<const Vec3>(accel_), "accel", report);
+  audit_finite(std::span<const double>(potential_), "potential", report);
+  audit_cost_model(balancer_.cost_model(), report);
+  if (a.force_samples > 0)
+    audit_sampled_gravity(bodies_.positions, bodies_.masses, accel_,
+                          config_.grav_const, config_.softening,
+                          a.force_samples, a.force_rel_tol, report);
+  return report;
+}
+
+void GravitySimulation::roll_back(StepRecord& rec) {
+  // The in-memory snapshot is the freshest good state; the on-disk store is
+  // the fallback when there is none (e.g. recovery misconfiguration).
+  std::optional<SimCheckpoint> good = last_good_;
+  if (!good && store_) good = store_->load_latest();
+  if (!good) return;  // nowhere to go; the record keeps its failure flags
+
+  restore(*good);
+  // The snapshot passed its audit, but rebuild the tree from scratch at the
+  // restored S anyway: rollback is rare, a rebuild is cheap insurance against
+  // corruption that slipped past the structural checks, and the balancer is
+  // about to re-learn the machine regardless.
+  TreeConfig tc = config_.tree;
+  tc.leaf_capacity = balancer_.current_S();
+  tree_.build(bodies_.positions, tc);
+  balancer_.reenter_search();
+  initial_solve();
+
+  rec.rolled_back = true;
+  rec.restored_step = step_count_;
+  ++rollbacks_;
+}
+
+void GravitySimulation::corrupt_force_for_test(std::size_t i) {
+  accel_[i].x = std::numeric_limits<double>::quiet_NaN();
+}
+
+void GravitySimulation::corrupt_tree_for_test() {
+  // Break a parent link below an effective internal node without bumping the
+  // version stamps -- the list cache keeps serving the stale structure,
+  // exactly like real in-memory corruption would look.
+  for (int id = 0; id < tree_.num_nodes(); ++id) {
+    const auto& n = tree_.node(id);
+    if (n.has_children && !n.collapsed) {
+      tree_.mutable_node_for_test(n.children[0]).parent = -7;
+      return;
+    }
+  }
+  // Single-leaf tree: corrupt the root span instead.
+  tree_.mutable_node_for_test(tree_.root()).count += 12345;
 }
 
 double GravitySimulation::total_energy() const {

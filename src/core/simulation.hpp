@@ -11,6 +11,13 @@
 //
 // Per-step records carry everything Figs. 8/9 and Table II report: compute
 // time, load-balancing time, the S in force, and the balancer state.
+//
+// Resilience (state/): when config.resilience is enabled the loop wraps each
+// step with a watchdog, audits the live state every few steps, snapshots
+// audited state on the checkpoint cadence, and reacts to a failed audit or a
+// tripped watchdog by rolling back to the last good checkpoint, rebuilding
+// the tree and re-entering Search. All of it is read-only on healthy steps,
+// so enabling resilience never perturbs a healthy trajectory.
 #pragma once
 
 #include <optional>
@@ -20,6 +27,7 @@
 #include "core/fmm_solver.hpp"
 #include "dist/distributions.hpp"
 #include "faults/fault_injector.hpp"
+#include "state/checkpoint.hpp"
 
 namespace afmm {
 
@@ -34,6 +42,8 @@ struct SimulationConfig {
   // (empty by default: a perfectly healthy run).
   FaultSchedule faults;
   std::uint64_t fault_seed = 0x5eed;
+  // Checkpoint / audit / watchdog policy (everything off by default).
+  ResilienceConfig resilience;
 };
 
 struct StepRecord {
@@ -57,6 +67,13 @@ struct StepRecord {
   bool capability_shift = false; // balancer reset + re-entered Search
   bool cpu_fallback = false;     // near field ran on the CPU (no GPUs alive)
   int transfer_retries = 0;
+  // Resilience bookkeeping (all false/-1 when resilience is disabled).
+  bool audited = false;          // invariant audit ran after this step
+  bool audit_failed = false;     // ... and found violations
+  bool watchdog_tripped = false; // step exceeded a watchdog budget
+  bool rolled_back = false;      // recovered from the last good checkpoint
+  int restored_step = -1;        // step the rollback restored to
+  bool checkpointed = false;     // a snapshot was taken after this step
 };
 
 class GravitySimulation {
@@ -64,7 +81,15 @@ class GravitySimulation {
   GravitySimulation(const SimulationConfig& config, NodeSimulator node,
                     ParticleSet bodies);
 
-  // Advance one time step; returns its record.
+  // Resume from a checkpoint: the simulation continues the EXACT trajectory
+  // the checkpointed run would have produced (config and node must match the
+  // original run's). Throws std::invalid_argument on a kind mismatch.
+  GravitySimulation(const SimulationConfig& config, NodeSimulator node,
+                    const SimCheckpoint& ckpt);
+
+  // Advance one time step; returns its record. With resilience enabled the
+  // step is watchdog-guarded, audited on the configured cadence, and
+  // checkpointed / rolled back as needed.
   StepRecord step();
 
   // Run `n` steps, collecting records.
@@ -86,8 +111,30 @@ class GravitySimulation {
   // for the integrator tests. Uses the softened potential.
   double total_energy() const;
 
+  // --- checkpoint / restore / recovery -------------------------------------
+
+  // Complete snapshot of the current state (see state/checkpoint.hpp).
+  SimCheckpoint checkpoint() const;
+  // Adopt a snapshot wholesale (same config/node as the run that took it).
+  void restore(const SimCheckpoint& ckpt);
+
+  // The full invariant audit the resilience loop runs (also callable
+  // directly, e.g. by tests and benches).
+  AuditReport run_audit() const;
+
+  // Rollbacks performed so far, and the on-disk store when one is configured.
+  int rollbacks() const { return rollbacks_; }
+  const CheckpointStore* store() const { return store_ ? &*store_ : nullptr; }
+
+  // Chaos hooks: silent state corruption for auditor/recovery tests.
+  void corrupt_force_for_test(std::size_t i);
+  void corrupt_tree_for_test();
+
  private:
   void initial_solve();
+  void init_resilience();
+  StepRecord step_core();
+  void roll_back(StepRecord& rec);
 
   SimulationConfig config_;
   InteractionListCache list_cache_;
@@ -100,6 +147,12 @@ class GravitySimulation {
   std::vector<double> potential_;
   std::optional<ObservedStepTimes> last_observed_;
   int step_count_ = 0;
+
+  // Resilience state (inert while config_.resilience is disabled).
+  StepWatchdog watchdog_;
+  std::optional<CheckpointStore> store_;
+  std::optional<SimCheckpoint> last_good_;
+  int rollbacks_ = 0;
 };
 
 }  // namespace afmm

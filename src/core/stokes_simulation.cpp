@@ -1,6 +1,7 @@
 #include "core/stokes_simulation.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace afmm {
 
@@ -18,6 +19,7 @@ StokesSimulation::StokesSimulation(const StokesSimulationConfig& config,
     : config_(config),
       solver_(config.fmm, std::move(node), config.epsilon),
       balancer_(config.balancer, config.fmm.traversal),
+      injector_(config.faults, config.fault_seed),
       force_model_(std::move(force_model)),
       positions_(std::move(positions)),
       velocities_(positions_.size()),
@@ -27,6 +29,53 @@ StokesSimulation::StokesSimulation(const StokesSimulationConfig& config,
   TreeConfig tc = config_.tree;
   tc.leaf_capacity = config_.balancer.initial_S;
   tree_.build(positions_, tc);
+}
+
+StokesSimulation::StokesSimulation(const StokesSimulationConfig& config,
+                                   NodeSimulator node,
+                                   const SimCheckpoint& ckpt,
+                                   ForceModel force_model)
+    : config_(config),
+      solver_(config.fmm, std::move(node), config.epsilon),
+      balancer_(config.balancer, config.fmm.traversal),
+      injector_(config.faults, config.fault_seed),
+      force_model_(std::move(force_model)) {
+  solver_.set_list_cache(&list_cache_);
+  balancer_.set_list_cache(&list_cache_);
+  restore(ckpt);
+}
+
+SimCheckpoint StokesSimulation::checkpoint() const {
+  SimCheckpoint c;
+  c.kind = SimKind::kStokes;
+  c.step = step_count_;
+  c.bodies.positions = positions_;
+  c.bodies.velocities = velocities_;  // masses stay empty: Stokeslets
+  c.has_observed = last_observed_.has_value();
+  if (last_observed_) c.observed = *last_observed_;
+  c.tree = tree_.snapshot();
+  c.balancer = balancer_.snapshot();
+  c.health = solver_.node().health();
+  c.injector = injector_.snapshot();
+  return c;
+}
+
+void StokesSimulation::restore(const SimCheckpoint& ckpt) {
+  if (ckpt.kind != SimKind::kStokes)
+    throw std::invalid_argument("checkpoint is not a Stokes simulation");
+  step_count_ = ckpt.step;
+  positions_ = ckpt.bodies.positions;
+  velocities_ = ckpt.bodies.velocities;
+  velocities_.resize(positions_.size());
+  forces_.resize(positions_.size());
+  if (ckpt.has_observed)
+    last_observed_ = ckpt.observed;
+  else
+    last_observed_.reset();
+  tree_.restore(ckpt.tree);
+  balancer_.restore(ckpt.balancer);
+  solver_.node().health() = ckpt.health;
+  injector_.restore(ckpt.injector);
 }
 
 StepRecord StokesSimulation::step() {
@@ -45,9 +94,20 @@ StepRecord StokesSimulation::step() {
     rec.rebuilt = lb.rebuilt;
     rec.enforce_ops = lb.enforce_ops;
     rec.fgo_ops = lb.fgo_ops;
+    rec.capability_shift = lb.capability_shift;
   } else {
     rec.S = balancer_.current_S();
   }
+
+  // Faults fire after balancing, before the solve (same order as the
+  // gravitational loop): the solve sees the degraded machine and the
+  // balancer reacts to the observed times next step.
+  MachineHealth& health = solver_.node().health();
+  rec.faults_fired =
+      static_cast<int>(injector_.advance_to(step_count_, health).size());
+  rec.alive_gpus = health.num_alive_gpus();
+  rec.gpu_capability = health.total_gpu_capability();
+  rec.effective_cores = solver_.node().effective_cores();
 
   force_model_(positions_, forces_);
   auto res = solver_.solve(tree_, positions_, forces_);
@@ -63,6 +123,8 @@ StepRecord StokesSimulation::step() {
   rec.cpu_seconds = res.times.cpu_seconds;
   rec.gpu_seconds = res.times.gpu_seconds;
   rec.stats = res.stats;
+  rec.cpu_fallback = res.gpu.cpu_fallback;
+  rec.transfer_retries = res.times.transfer_retries;
   ++step_count_;
   return rec;
 }

@@ -29,6 +29,9 @@ struct StokesSimulationConfig {
   double dt = 1e-3;
   double epsilon = 1e-3;    // regularization blob size
   double viscosity = 1.0;   // mu in the 1/(8 pi mu) mobility prefactor
+  // Deterministic fault schedule, replayed exactly as in GravitySimulation.
+  FaultSchedule faults;
+  std::uint64_t fault_seed = 0x5eed;
 };
 
 // Writes the per-body forces for the current positions into `forces`.
@@ -43,6 +46,12 @@ class StokesSimulation {
   StokesSimulation(const StokesSimulationConfig& config, NodeSimulator node,
                    std::vector<Vec3> positions, ForceModel force_model);
 
+  // Resume from a checkpoint taken by an identically configured run (the
+  // force model is configuration and is not serialized). Throws
+  // std::invalid_argument on a kind mismatch.
+  StokesSimulation(const StokesSimulationConfig& config, NodeSimulator node,
+                   const SimCheckpoint& ckpt, ForceModel force_model);
+
   StepRecord step();
   std::vector<StepRecord> run(int n);
 
@@ -51,12 +60,19 @@ class StokesSimulation {
   const AdaptiveOctree& tree() const { return tree_; }
   const LoadBalancer& balancer() const { return balancer_; }
   const InteractionListCache& list_cache() const { return list_cache_; }
+  const FaultInjector& fault_injector() const { return injector_; }
+  NodeSimulator& node() { return solver_.node(); }
+  int steps_taken() const { return step_count_; }
+
+  SimCheckpoint checkpoint() const;
+  void restore(const SimCheckpoint& ckpt);
 
  private:
   StokesSimulationConfig config_;
   InteractionListCache list_cache_;
   StokesletSolver solver_;
   LoadBalancer balancer_;
+  FaultInjector injector_;
   ForceModel force_model_;
   std::vector<Vec3> positions_;
   std::vector<Vec3> velocities_;

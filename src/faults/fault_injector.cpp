@@ -1,6 +1,7 @@
 #include "faults/fault_injector.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace afmm {
 
@@ -68,6 +69,19 @@ FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
   std::stable_sort(
       schedule_.events.begin(), schedule_.events.end(),
       [](const FaultEvent& a, const FaultEvent& b) { return a.step < b.step; });
+}
+
+FaultInjectorSnapshot FaultInjector::snapshot() const {
+  return {static_cast<std::uint64_t>(next_), transfer_window_end_,
+          static_cast<std::uint64_t>(schedule_.events.size())};
+}
+
+void FaultInjector::restore(const FaultInjectorSnapshot& snap) {
+  if (snap.num_events != schedule_.events.size())
+    throw std::invalid_argument(
+        "FaultInjector::restore: snapshot belongs to a different schedule");
+  next_ = static_cast<std::size_t>(snap.next_event);
+  transfer_window_end_ = snap.transfer_window_end;
 }
 
 bool FaultInjector::exhausted() const {

@@ -61,6 +61,16 @@ struct FaultSchedule {
   bool empty() const { return events.empty(); }
 };
 
+// Replay cursor of the injector (checkpoint/restore). The schedule and seed
+// are configuration and are NOT serialized -- a restored injector must be
+// constructed from the same (schedule, seed) the original run used, and
+// `num_events` lets restore() verify that.
+struct FaultInjectorSnapshot {
+  std::uint64_t next_event = 0;
+  int transfer_window_end = -1;
+  std::uint64_t num_events = 0;
+};
+
 class FaultInjector {
  public:
   FaultInjector() = default;
@@ -73,6 +83,12 @@ class FaultInjector {
 
   bool exhausted() const;
   const FaultSchedule& schedule() const { return schedule_; }
+
+  FaultInjectorSnapshot snapshot() const;
+  // Rewind/advance the cursor to a snapshot taken from an injector built
+  // with the same schedule; throws std::invalid_argument on a schedule-size
+  // mismatch (the snapshot then belongs to a different run configuration).
+  void restore(const FaultInjectorSnapshot& snap);
 
  private:
   void apply(const FaultEvent& e, MachineHealth& health);

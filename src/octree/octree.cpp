@@ -372,6 +372,20 @@ void AdaptiveOctree::check_invariants() const {
   visit(visit, root());
 }
 
+OctreeSnapshot AdaptiveOctree::snapshot() const {
+  return OctreeSnapshot{config_, nodes_, sorted_pos_, perm_};
+}
+
+void AdaptiveOctree::restore(const OctreeSnapshot& snap) {
+  config_ = snap.config;
+  nodes_ = snap.nodes;
+  sorted_pos_ = snap.sorted_pos;
+  perm_ = snap.perm;
+  scratch_pos_.resize(sorted_pos_.size());
+  scratch_perm_.resize(perm_.size());
+  bump_structure();
+}
+
 TreeConfig fit_cube(std::span<const Vec3> positions, TreeConfig base) {
   if (positions.empty()) return base;
   Vec3 lo = positions[0];

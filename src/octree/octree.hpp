@@ -51,6 +51,17 @@ struct OctreeNode {
   std::uint32_t count = 0;
 };
 
+// Complete, self-contained image of a tree's effective structure and body
+// layout (checkpoint/restore): restoring it reproduces the tree bit-for-bit
+// -- same nodes, same collapse flags, same spans, same permutation -- so a
+// replay from a snapshot walks the identical traversal the original run did.
+struct OctreeSnapshot {
+  TreeConfig config;
+  std::vector<OctreeNode> nodes;
+  std::vector<Vec3> sorted_pos;
+  std::vector<std::uint32_t> perm;
+};
+
 class AdaptiveOctree {
  public:
   // Builds the adaptive decomposition of `positions` with leaf capacity
@@ -141,8 +152,23 @@ class AdaptiveOctree {
   }
 
   // Validates the structural invariants (spans, parent/child links, geometry);
-  // aborts with a message on violation. Used by tests.
+  // aborts with a message on violation. Used by tests. The non-fatal variant
+  // for the runtime invariant auditor lives in state/auditor.hpp.
   void check_invariants() const;
+
+  // --- checkpoint/restore --------------------------------------------------
+
+  // Copy of everything needed to reproduce this tree exactly.
+  OctreeSnapshot snapshot() const;
+
+  // Adopt a snapshot wholesale. The restored structure gets a FRESH version
+  // stamp (stamps are process-unique), so list caches rebuild once and then
+  // behave exactly as they would have on the original tree.
+  void restore(const OctreeSnapshot& snap);
+
+  // Chaos/test hook: mutable access to a node WITHOUT bumping the version
+  // stamps -- silent corruption for auditor tests. Never use elsewhere.
+  OctreeNode& mutable_node_for_test(int i) { return nodes_[i]; }
 
  private:
   struct Subtree;  // local build result, defined in octree.cpp

@@ -1,0 +1,123 @@
+// Versioned, CRC-sealed binary checkpoints of a running simulation, and the
+// crash-safe on-disk store that rotates them.
+//
+// Format (little-endian):
+//
+//   u32 magic 'AFMM'   u32 format_version   u32 section_count
+//   section*: u32 id | u64 payload_size | u32 crc32(payload) | payload
+//
+// Every section is independently CRC'd, so a torn write (process killed
+// mid-checkpoint), a truncation, or a flipped bit is detected on load and
+// the store falls back to the previous snapshot. A format_version mismatch
+// rejects the whole file; unknown section ids are skipped (forward compat).
+//
+// A SimCheckpoint captures EVERYTHING a trajectory depends on: bodies (and
+// the solved accelerations/potentials they will be kicked with), the
+// adaptive octree bit-for-bit (structure, collapse flags, Morton-ordered
+// spans, permutation), the load balancer's full state machine (LbState,
+// Search bracket, best time, EWMA cost coefficients), the machine health
+// registry + fault epoch, the fault injector's replay cursor, the last
+// observed step times the balancer will digest next, and any auxiliary RNG
+// streams the driver wants carried across the restart. A run restored from
+// one replays the *identical* trajectory an uninterrupted run would have
+// produced -- positions, S sequence and LbState sequence, bit for bit.
+//
+// Writing is crash-safe: encode to memory, write to `<name>.tmp`, fsync,
+// atomically rename over the final name, then prune snapshots beyond the
+// keep budget (oldest first).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "balance/load_balancer.hpp"
+#include "dist/distributions.hpp"
+#include "faults/fault_injector.hpp"
+#include "machine/machine.hpp"
+#include "octree/octree.hpp"
+#include "state/auditor.hpp"
+#include "state/watchdog.hpp"
+
+namespace afmm {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4D4D4641;  // "AFMM"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+enum class SimKind : std::uint32_t { kGravity = 0, kStokes = 1 };
+
+struct SimCheckpoint {
+  SimKind kind = SimKind::kGravity;
+  int step = 0;
+  ParticleSet bodies;             // Stokes runs leave `masses` empty
+  std::vector<Vec3> accel;        // gravity: G * gradient of the last solve
+  std::vector<double> potential;  // gravity: softened potential per body
+  bool has_observed = false;
+  ObservedStepTimes observed;     // what the balancer digests next step
+  OctreeSnapshot tree;
+  LoadBalancerSnapshot balancer;
+  MachineHealth health;
+  FaultInjectorSnapshot injector;
+  // Auxiliary deterministic RNG streams (4 words per xoshiro256++ stream),
+  // for drivers whose workload generation must survive the restart. The
+  // simulation itself owns no RNG; see Rng::state()/set_state().
+  std::vector<std::uint64_t> rng_words;
+};
+
+// In-memory encoding; decode returns nullopt (with `error` filled when given)
+// on bad magic, version mismatch, CRC failure, truncation, or a structurally
+// impossible payload.
+std::vector<std::uint8_t> encode_checkpoint(const SimCheckpoint& ckpt);
+std::optional<SimCheckpoint> decode_checkpoint(
+    std::span<const std::uint8_t> data, std::string* error = nullptr);
+
+// Single-file crash-safe write (temp + fsync + atomic rename) and validated
+// read.
+bool save_checkpoint_file(const std::string& path, const SimCheckpoint& ckpt,
+                          std::string* error = nullptr);
+std::optional<SimCheckpoint> load_checkpoint_file(const std::string& path,
+                                                  std::string* error = nullptr);
+
+// Rotating on-disk snapshot store: `dir/ckpt_<step>.afmm`, newest `keep`
+// files retained. load_latest() walks newest-first and silently skips any
+// snapshot that fails validation -- a crash mid-write therefore costs at most
+// one checkpoint interval of progress, never the run.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir, int keep = 3);
+
+  bool save(const SimCheckpoint& ckpt, std::string* error = nullptr);
+  std::optional<SimCheckpoint> load_latest(std::string* error = nullptr) const;
+
+  // Snapshot paths, newest (highest step) first.
+  std::vector<std::string> files() const;
+  const std::string& dir() const { return dir_; }
+  int keep() const { return keep_; }
+
+ private:
+  std::string dir_;
+  int keep_;
+};
+
+// Resilience policy of a simulation: how often to checkpoint and audit, and
+// what the watchdog tolerates. Everything off by default -- a simulation
+// without resilience behaves exactly as before (and pays nothing).
+struct ResilienceConfig {
+  int checkpoint_interval = 0;  // steps between snapshots; 0 = no snapshots
+  std::string checkpoint_dir;   // empty = in-memory rollback only
+  int checkpoint_keep = 3;      // on-disk snapshots retained
+  AuditConfig audit;            // audit.interval 0 = no audits
+  WatchdogConfig watchdog;
+  // React to a failed audit / tripped watchdog by restoring the last good
+  // checkpoint, rebuilding the tree and re-entering Search. When false the
+  // failure is only recorded in the StepRecord.
+  bool rollback_on_failure = true;
+
+  bool enabled() const {
+    return checkpoint_interval > 0 || audit.interval > 0 || watchdog.enabled();
+  }
+};
+
+}  // namespace afmm

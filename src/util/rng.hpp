@@ -5,6 +5,7 @@
 // directly and all experiments are bit-reproducible given a seed.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -46,6 +47,13 @@ class Rng {
     const double u2 = uniform();
     constexpr double kTwoPi = 6.283185307179586476925286766559;
     return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  // Full generator state, for checkpoint/restore: a stream restored with
+  // set_state() continues the exact sequence the snapshot interrupted.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
   static std::uint64_t splitmix64(std::uint64_t& x) {

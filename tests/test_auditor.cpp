@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/simulation.hpp"
+#include "dist/distributions.hpp"
+#include "kernels/gravity.hpp"
+#include "state/auditor.hpp"
+#include "util/rng.hpp"
+
+namespace afmm {
+namespace {
+
+SimulationConfig base_config() {
+  SimulationConfig cfg;
+  cfg.fmm.order = 4;
+  cfg.tree.root_center = {0, 0, 0};
+  cfg.tree.root_half = 8.0;
+  cfg.balancer.initial_S = 32;
+  cfg.dt = 1e-4;
+  cfg.grav_const = 1.0;
+  cfg.softening = 1e-3;
+  return cfg;
+}
+
+NodeSimulator default_node(int gpus = 2) {
+  return NodeSimulator(CpuModelConfig{}, GpuSystemConfig::uniform(gpus));
+}
+
+ParticleSet test_bodies(std::size_t n = 1500) {
+  Rng rng(71);
+  PlummerOptions opt;
+  opt.scale_radius = 0.2;
+  opt.velocity_scale = 0.5;
+  return plummer(n, rng, opt);
+}
+
+TEST(Auditor, HealthyRunPassesEveryAudit) {
+  GravitySimulation sim(base_config(), default_node(), test_bodies());
+  sim.run(5);
+  const auto report = sim.run_audit();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.summary(), "ok");
+}
+
+TEST(Auditor, TreeAuditCatchesBrokenParentLink) {
+  GravitySimulation sim(base_config(), default_node(), test_bodies());
+  sim.run(2);
+  ASSERT_TRUE(sim.run_audit().ok());
+  sim.corrupt_tree_for_test();
+  const auto report = sim.run_audit();
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("tree:"), std::string::npos)
+      << report.summary();
+}
+
+TEST(Auditor, FiniteAuditCatchesNanForce) {
+  GravitySimulation sim(base_config(), default_node(), test_bodies());
+  sim.run(2);
+  sim.corrupt_force_for_test(17);
+  const auto report = sim.run_audit();
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("accel"), std::string::npos)
+      << report.summary();
+}
+
+TEST(Auditor, CostModelAuditCatchesPoisonedCoefficient) {
+  CostModel model(0.5);
+  AuditReport healthy;
+  audit_cost_model(model, healthy);
+  EXPECT_TRUE(healthy.ok()) << healthy.summary();
+
+  CostModelSnapshot snap = model.snapshot();
+  snap.coefficients.m2l = std::numeric_limits<double>::quiet_NaN();
+  snap.coefficients.cpu_efficiency = 1.7;  // outside the clamped (0, 1]
+  model.restore(snap);
+  AuditReport report;
+  audit_cost_model(model, report);
+  EXPECT_EQ(report.violations.size(), 2u) << report.summary();
+}
+
+TEST(Auditor, SampledForceAuditCatchesCorruptedAcceleration) {
+  Rng rng(11);
+  const std::size_t n = 64;
+  std::vector<Vec3> pos;
+  std::vector<double> mass(n, 1.0 / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i)
+    pos.push_back({rng.uniform(-1, 1), rng.uniform(-1, 1),
+                   rng.uniform(-1, 1)});
+
+  // Exact direct-sum accelerations pass at any tolerance.
+  const double softening = 1e-3;
+  const GravityKernel kernel(softening);
+  std::vector<Vec3> accel(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    GravityAccum acc;
+    for (std::size_t j = 0; j < n; ++j)
+      kernel.accumulate(pos[i], static_cast<std::uint32_t>(i),
+                        {pos[j], mass[j]}, static_cast<std::uint32_t>(j), acc);
+    accel[i] = acc.grad;
+  }
+  AuditReport healthy;
+  audit_sampled_gravity(pos, mass, accel, 1.0, softening, 8, 0.25, healthy);
+  EXPECT_TRUE(healthy.ok()) << healthy.summary();
+
+  // A sign flip on a sampled body (stride n/8 samples index 0) must trip.
+  accel[0] = -1.0 * accel[0];
+  AuditReport report;
+  audit_sampled_gravity(pos, mass, accel, 1.0, softening, 8, 0.25, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("force audit"), std::string::npos)
+      << report.summary();
+}
+
+TEST(Recovery, NanForceRollsBackAndReentersSearch) {
+  auto cfg = base_config();
+  cfg.resilience.audit.interval = 1;
+  GravitySimulation sim(cfg, default_node(), test_bodies());
+  sim.run(6);
+  ASSERT_EQ(sim.rollbacks(), 0);
+
+  sim.corrupt_force_for_test(3);
+  const auto rec = sim.step();
+  EXPECT_TRUE(rec.audited);
+  EXPECT_TRUE(rec.audit_failed);
+  EXPECT_TRUE(rec.rolled_back);
+  EXPECT_GE(rec.restored_step, 0);
+  EXPECT_EQ(sim.rollbacks(), 1);
+  // Rollback re-enters Search so the balancer re-learns the machine.
+  EXPECT_EQ(sim.balancer().state(), LbState::kSearch);
+  // The restored state is clean and the run continues healthily.
+  EXPECT_TRUE(sim.run_audit().ok());
+  const auto after = sim.run(3);
+  for (const auto& r : after) {
+    EXPECT_FALSE(r.audit_failed);
+    EXPECT_FALSE(r.rolled_back);
+  }
+}
+
+TEST(Recovery, BrokenTreeLinkRollsBack) {
+  auto cfg = base_config();
+  cfg.resilience.audit.interval = 1;
+  cfg.resilience.checkpoint_interval = 4;
+  GravitySimulation sim(cfg, default_node(), test_bodies());
+  sim.run(5);  // a checkpoint exists at step 4
+
+  sim.corrupt_tree_for_test();
+  const auto rec = sim.step();
+  EXPECT_TRUE(rec.audit_failed);
+  EXPECT_TRUE(rec.rolled_back);
+  EXPECT_EQ(rec.restored_step, 4);
+  EXPECT_TRUE(sim.run_audit().ok());
+}
+
+TEST(Recovery, RollbackDisabledOnlyRecords) {
+  auto cfg = base_config();
+  cfg.resilience.audit.interval = 1;
+  cfg.resilience.rollback_on_failure = false;
+  GravitySimulation sim(cfg, default_node(), test_bodies());
+  sim.run(3);
+  sim.corrupt_force_for_test(3);
+  const auto rec = sim.step();
+  EXPECT_TRUE(rec.audit_failed);
+  EXPECT_FALSE(rec.rolled_back);
+  EXPECT_EQ(sim.rollbacks(), 0);
+}
+
+TEST(Recovery, WatchdogVirtualBudgetTripsAndRollsBack) {
+  auto cfg = base_config();
+  // Any step blows a sub-femtosecond virtual budget: deterministic trip.
+  cfg.resilience.watchdog.virtual_limit_seconds = 1e-15;
+  GravitySimulation sim(cfg, default_node(), test_bodies());
+  const auto rec = sim.step();
+  EXPECT_TRUE(rec.watchdog_tripped);
+  EXPECT_TRUE(rec.rolled_back);
+  EXPECT_EQ(rec.restored_step, 0);  // back to the seeded initial snapshot
+  EXPECT_EQ(sim.balancer().state(), LbState::kSearch);
+}
+
+TEST(Recovery, GenerousWatchdogNeverTrips) {
+  auto cfg = base_config();
+  cfg.resilience.watchdog.virtual_limit_seconds = 1e9;
+  cfg.resilience.watchdog.wall_limit_seconds = 3600.0;
+  GravitySimulation sim(cfg, default_node(), test_bodies());
+  for (const auto& rec : sim.run(4)) {
+    EXPECT_FALSE(rec.watchdog_tripped);
+    EXPECT_FALSE(rec.rolled_back);
+  }
+}
+
+TEST(Recovery, ResilienceDoesNotPerturbHealthyTrajectory) {
+  const auto set = test_bodies();
+  GravitySimulation plain(base_config(), default_node(), set);
+  auto cfg = base_config();
+  cfg.resilience.audit.interval = 1;  // audit EVERY step
+  cfg.resilience.checkpoint_interval = 2;
+  cfg.resilience.watchdog.virtual_limit_seconds = 1e9;
+  GravitySimulation resilient(cfg, default_node(), set);
+
+  const auto a = plain.run(10);
+  const auto b = resilient.run(10);
+  EXPECT_EQ(resilient.rollbacks(), 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a[static_cast<std::size_t>(i)].compute_seconds,
+              b[static_cast<std::size_t>(i)].compute_seconds);
+    EXPECT_EQ(a[static_cast<std::size_t>(i)].S,
+              b[static_cast<std::size_t>(i)].S);
+    EXPECT_EQ(a[static_cast<std::size_t>(i)].state,
+              b[static_cast<std::size_t>(i)].state);
+  }
+  for (std::size_t i = 0; i < set.size(); ++i)
+    EXPECT_EQ(plain.bodies().positions[i], resilient.bodies().positions[i]);
+}
+
+}  // namespace
+}  // namespace afmm

@@ -83,6 +83,25 @@ TEST(StokesSimulation, RecordsPopulatedAndBalancerEngages) {
   EXPECT_NE(recs.back().state, LbState::kSearch);
 }
 
+TEST(StokesSimulation, FaultInjectionDegradesAndRecoversTheMachine) {
+  Rng rng(95);
+  auto pos = blob(rng, 1500, {0, 0, 3}, 1.0);
+  auto cfg = base_config();
+  cfg.faults.gpu_loss(3, 0).gpu_recovery(8, 0);
+  NodeSimulator node(CpuModelConfig{}, GpuSystemConfig::uniform(2));
+  StokesSimulation sim(cfg, node, pos, constant_force({0, 0, -1}));
+  const auto recs = sim.run(12);
+
+  EXPECT_EQ(recs[2].alive_gpus, 2);
+  EXPECT_EQ(recs[3].faults_fired, 1);
+  EXPECT_EQ(recs[3].alive_gpus, 1);   // loss fires before the solve
+  EXPECT_EQ(recs[8].faults_fired, 1);
+  EXPECT_EQ(recs[8].alive_gpus, 2);   // ... and so does the recovery
+  EXPECT_TRUE(sim.fault_injector().exhausted());
+  // The surviving GPU carries the whole near field while its twin is gone.
+  EXPECT_GT(recs[4].gpu_seconds, recs[2].gpu_seconds);
+}
+
 TEST(StokesSimulation, CustomForceModelIsUsed) {
   // Zero forces -> zero velocities -> nothing moves.
   Rng rng(94);
