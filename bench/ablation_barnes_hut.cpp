@@ -51,6 +51,7 @@ ErrorStats error_stats(std::span<const double> pot,
 
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 4000);
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Rng rng(2013);
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
 
   Table table({"method", "setting", "rel_l2", "worst_body", "spread",
                "far_ops", "p2p_int"});
-  table.mirror_csv("ablation_barnes_hut.csv");
+  table.mirror_csv(out + "/ablation_barnes_hut.csv");
 
   for (int p : {2, 4, 6}) {
     FmmConfig cfg;

@@ -19,6 +19,7 @@ using namespace afmm::bench;
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 60000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Rng rng(2013);
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
 
   Table table({"S", "m2l_base", "m2l_ext", "m2p", "p2l", "cpu_base_s",
                "cpu_ext_s", "cpu_ratio"});
-  table.mirror_csv("ablation_m2p_p2l.csv");
+  table.mirror_csv(out + "/ablation_m2p_p2l.csv");
 
   for (int s : {8, 16, 32, 64, 128, 256}) {
     AdaptiveOctree tree;

@@ -15,6 +15,7 @@ using namespace afmm::bench;
 
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 100000);
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Rng rng(2013);
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
 
   const GpuDeviceConfig dev;
   Table table({"gpus", "scheme", "imbalance", "max_kernel_s"});
-  table.mirror_csv("ablation_partition.csv");
+  table.mirror_csv(out + "/ablation_partition.csv");
 
   struct Scheme {
     const char* name;

@@ -17,6 +17,7 @@ using namespace afmm::bench;
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 60000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 4));
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Rng rng(2013);
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
               "collapsing increasingly many bottom parents.\n", n);
 
   Table table({"collapsed_nodes", "pred_cpu_err_pct", "pred_gpu_err_pct"});
-  table.mirror_csv("ablation_prediction.csv");
+  table.mirror_csv(out + "/ablation_prediction.csv");
 
   int total_collapsed = 0;
   for (int batch : {0, 4, 8, 16, 32, 64, 128, 256}) {

@@ -46,11 +46,12 @@ int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 200000);
   const long reps = arg_or(argc, argv, "reps", 3);
   const long steps = arg_or(argc, argv, "steps", 100);
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Table build_table(
       {"dist", "S", "threads", "serial_s", "parallel_s", "speedup"});
-  build_table.mirror_csv("ablation_traversal_build.csv");
+  build_table.mirror_csv(out + "/ablation_traversal_build.csv");
 
   struct Case {
     const char* dist;
@@ -94,7 +95,7 @@ int main(int argc, char** argv) {
   // every `rebuild_every` steps the structure changes (Enforce_S-style).
   Table cache_table(
       {"rebuild_every", "gets", "builds", "hits", "hit_rate"});
-  cache_table.mirror_csv("ablation_traversal_cache.csv");
+  cache_table.mirror_csv(out + "/ablation_traversal_cache.csv");
   for (int rebuild_every : {1, 5, 25}) {
     Rng rng(2013);
     auto set = plummer(static_cast<std::size_t>(n), rng);

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   const int order = static_cast<int>(arg_or(argc, argv, "order", 4));
   const int W = static_cast<int>(arg_or(argc, argv, "window", 40));
   const long seed = arg_or(argc, argv, "seed", 0x5eed);
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
   const int steps = 8 * W;
 
@@ -111,7 +112,7 @@ int main(int argc, char** argv) {
   Table series({"step", "compute_s", "far_s", "near_s", "S", "state",
                 "alive_gpus", "gpu_capability", "eff_cores",
                 "transfer_retries", "capability_shift"});
-  series.mirror_csv("chaos_recovery.csv");
+  series.mirror_csv(out + "/chaos_recovery.csv");
   const int stride = std::max(1, steps / 64);
   for (int i = 0; i < steps; ++i) {
     // Keep fault boundaries and shift steps even when subsampling.
@@ -135,7 +136,7 @@ int main(int argc, char** argv) {
   // enters steady * (1 + band).
   Table summary({"fault", "step", "steady_s", "worst_s", "steps_to_band",
                  "shifts"});
-  summary.mirror_csv("chaos_recovery_summary.csv");
+  summary.mirror_csv(out + "/chaos_recovery_summary.csv");
   for (int s = 0; s < nseg; ++s) {
     const int lo = segments[s].start;
     const int hi = s + 1 < nseg ? segments[s + 1].start : steps;

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(arg_or(argc, argv, "steps", 80));
   const int interval = static_cast<int>(arg_or(argc, argv, "interval", 10));
   long kill = arg_or(argc, argv, "kill", 0);
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
   // Default kill point: mid-interval after half the run, so the resume
   // genuinely replays a few steps instead of landing on a snapshot boundary.
@@ -109,7 +110,7 @@ int main(int argc, char** argv) {
   int series_mismatches = 0;
   Table series({"step", "ref_compute_s", "resumed_compute_s", "ref_S",
                 "resumed_S", "state", "ckpt", "match"});
-  series.mirror_csv("checkpoint_resume.csv");
+  series.mirror_csv(out + "/checkpoint_resume.csv");
   for (int i = 0; i < steps; ++i) {
     const auto& a = ref_records[static_cast<std::size_t>(i)];
     const auto& b = resumed_records[static_cast<std::size_t>(i)];

@@ -14,7 +14,9 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "balance/load_balancer.hpp"
@@ -142,7 +144,7 @@ inline void register_key(const std::string& key) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   const auto& keys = known_keys();
   if (!keys.empty()) {
-    std::fprintf(stderr, "usage: [--<key> <non-negative integer>]...\n");
+    std::fprintf(stderr, "usage: [--<key> <value>]...\n");
     std::fprintf(stderr, "known keys:");
     for (const auto& k : keys) std::fprintf(stderr, " --%s", k.c_str());
     std::fprintf(stderr, " (env fallback: AFMM_<KEY>)\n");
@@ -177,6 +179,30 @@ inline long arg_or(int argc, char** argv, const std::string& key, long fallback)
   if (const char* v = std::getenv(env.c_str()))
     return detail::parse_count(v, env);
   return fallback;
+}
+
+// String-valued variant of arg_or (same flag / AFMM_<KEY> env fallback).
+inline std::string arg_str_or(int argc, char** argv, const std::string& key,
+                              const std::string& fallback) {
+  detail::register_key(key);
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--" + key) return argv[i + 1];
+  std::string env = "AFMM_" + key;
+  for (auto& c : env) c = static_cast<char>(std::toupper(c));
+  if (const char* v = std::getenv(env.c_str())) return v;
+  return fallback;
+}
+
+// Where this bench writes its CSV/JSON artifacts: --out <dir> (env AFMM_OUT),
+// default ./results so repeated runs never litter the repo root. The
+// directory is created on lookup (best effort, matching mirror_csv: a
+// read-only filesystem downgrades the run to stdout-only instead of failing).
+// Call BEFORE validate_args(), like every other lookup.
+inline std::string out_dir(int argc, char** argv) {
+  const std::string dir = arg_str_or(argc, argv, "out", "results");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
 }
 
 // Call AFTER every arg_or() lookup: rejects keys the bench never consumes

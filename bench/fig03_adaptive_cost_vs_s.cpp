@@ -16,6 +16,7 @@ using namespace afmm::bench;
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 50000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Rng rng(2013);
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
   NodeSimulator node(system_a_cpu(10), GpuSystemConfig::uniform(1));
 
   Table table({"S", "leaves", "depth", "cpu_s", "gpu_s", "compute_s"});
-  table.mirror_csv("fig03_adaptive_cost_vs_s.csv");
+  table.mirror_csv(out + "/fig03_adaptive_cost_vs_s.csv");
   std::printf("Fig. 3 reproduction: adaptive decomposition, N=%ld Plummer,\n"
               "10 CPU cores + 1 GPU (simulated). CPU cost falls smoothly\n"
               "with S while GPU cost rises smoothly.\n", n);

@@ -18,6 +18,7 @@ using namespace afmm::bench;
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 50000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Rng rng(2013);
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
   NodeSimulator node(system_a_cpu(10), GpuSystemConfig::uniform(1));
 
   Table table({"S", "depth", "cpu_s", "gpu_s", "compute_s"});
-  table.mirror_csv("fig04_uniform_gap.csv");
+  table.mirror_csv(out + "/fig04_uniform_gap.csv");
   std::printf("Fig. 4 reproduction: uniform decomposition, N=%ld uniform.\n"
               "depth = ceil(log8(N/S)): sweeping S yields discrete cost\n"
               "regimes with large jumps at level boundaries.\n", n);

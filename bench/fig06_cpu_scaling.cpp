@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 200000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
   const int s = static_cast<int>(arg_or(argc, argv, "s", 48));
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Rng rng(2013);
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
               n, s, tree.effective_depth());
 
   Table table({"cores", "cpu_s", "speedup", "efficiency"});
-  table.mirror_csv("fig06_cpu_scaling.csv");
+  table.mirror_csv(out + "/fig06_cpu_scaling.csv");
 
   double t1 = 0.0;
   for (int cores : {1, 2, 4, 8, 12, 16, 20, 24, 28, 32}) {

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   // S sweep (the paper uses 1M bodies).
   const long n = arg_or(argc, argv, "n", 200000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Rng rng(2013);
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
                             {"4C_4G", 4, 4},  {"10C_4G", 10, 4}};
 
   Table table({"S", "4C_1G", "10C_1G", "4C_2G", "10C_2G", "4C_4G", "10C_4G"});
-  table.mirror_csv("fig07_hetero_speedup.csv");
+  table.mirror_csv(out + "/fig07_hetero_speedup.csv");
   std::vector<double> best(6, 0.0);
 
   for (int s = 16; s <= 1024; s = s * 4 / 3 + 1) {

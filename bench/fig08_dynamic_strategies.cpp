@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   const long steps = arg_or(argc, argv, "steps", 600);
   const long upsample = arg_or(argc, argv, "upsample", 24);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 4));
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   // Plummer sphere with max radius 4a inside a box of half-width 16a:
@@ -129,7 +130,7 @@ int main(int argc, char** argv) {
   // Fig. 8: total time per step; Fig. 9: S per step.
   Table series({"step", "t_static", "t_enforce", "t_full", "S_static",
                 "S_enforce", "S_full"});
-  series.mirror_csv("fig08_09_series.csv");
+  series.mirror_csv(out + "/fig08_09_series.csv");
   const long stride = std::max<long>(1, steps / 40);
   for (std::size_t i = 0; i < runs[0].size(); ++i) {
     if (static_cast<long>(i) % stride != 0 && i + 1 != runs[0].size())
@@ -148,7 +149,7 @@ int main(int argc, char** argv) {
   // Table II: strategy summary.
   Table summary({"strategy", "total_compute_s", "total_lb_s", "lb_pct",
                  "rel_cost_per_step"});
-  summary.mirror_csv("table2_strategy_summary.csv");
+  summary.mirror_csv(out + "/table2_strategy_summary.csv");
   double full_avg = 0.0;
   for (const auto& r : runs[2]) full_avg += r.total_seconds();
   full_avg /= static_cast<double>(runs[2].size());

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 40000);
   const long steps = arg_or(argc, argv, "steps", 200);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 4));
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Rng rng(2013);
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
   const auto without_fgo = run(false);
 
   Table table({"step", "t_no_fgo", "t_fgo", "ratio"});
-  table.mirror_csv("fig10_ratio_series.csv");
+  table.mirror_csv(out + "/fig10_ratio_series.csv");
   const long stride = std::max<long>(1, steps / 25);
   RunningStats tail_ratio;  // after the initial search (paper: step > 15)
   for (std::size_t i = 0; i < with_fgo.size(); ++i) {

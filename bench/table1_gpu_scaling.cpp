@@ -14,6 +14,7 @@ using namespace afmm::bench;
 int main(int argc, char** argv) {
   const long n = arg_or(argc, argv, "n", 100000);
   const int order = static_cast<int>(arg_or(argc, argv, "order", 5));
+  const std::string out = out_dir(argc, argv);
   validate_args(argc, argv);
 
   Rng rng(2013);
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
   tree.build(set.positions, tc);
 
   Table table({"gpus", "kernel_s", "speedup", "imbalance"});
-  table.mirror_csv("table1_gpu_scaling.csv");
+  table.mirror_csv(out + "/table1_gpu_scaling.csv");
   double t1 = 0.0;
   for (int g = 1; g <= 4; ++g) {
     NodeSimulator node(system_a_cpu(10), GpuSystemConfig::uniform(g));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace afmm {
 
 const char* to_string(LbState s) {
@@ -269,7 +271,33 @@ LbStepReport LoadBalancer::post_step(AdaptiveOctree& tree,
   r.state_after = state_;
   r.S = s_;
   r.best_compute = best_compute_;
+  trace_step(r);
   return r;
+}
+
+void LoadBalancer::trace_step(const LbStepReport& r) const {
+  if (!trace_ || !clock_) return;
+  constexpr int pid = TraceRecorder::kVirtualPid;
+  const double now = *clock_;
+  if (r.capability_shift)
+    trace_->instant(pid, "balancer", "capability-shift", "balancer", now,
+                    {TraceArg::num("epoch_pending", epoch_pending_)});
+  if (r.state_before != r.state_after)
+    trace_->instant(pid, "balancer", "transition", "balancer", now,
+                    {TraceArg::str("from", to_string(r.state_before)),
+                     TraceArg::str("to", to_string(r.state_after)),
+                     TraceArg::num("S", r.S),
+                     TraceArg::num("best_compute", r.best_compute)});
+  if (state_ == LbState::kSearch)
+    trace_->instant(pid, "balancer", "search-bracket", "balancer", now,
+                    {TraceArg::num("lo", search_lo_),
+                     TraceArg::num("hi", search_hi_),
+                     TraceArg::num("S", s_),
+                     TraceArg::num("steps", search_steps_)});
+  if (r.fgo_ops > 0)
+    trace_->instant(pid, "balancer", "fine-grained-optimize", "balancer", now,
+                    {TraceArg::num("ops", r.fgo_ops),
+                     TraceArg::num("predicted_compute", r.predicted_compute)});
 }
 
 void LoadBalancer::step_search(AdaptiveOctree& tree,

@@ -48,6 +48,8 @@
 
 namespace afmm {
 
+class TraceRecorder;  // obs/trace.hpp; attached via set_trace()
+
 enum class LbState { kSearch, kIncremental, kObservation };
 enum class LbStrategy { kStatic, kEnforceOnly, kFull };
 
@@ -149,6 +151,16 @@ class LoadBalancer {
   // builds lists fresh on every dry run.
   void set_list_cache(InteractionListCache* cache) { cache_ = cache; }
 
+  // Attach a trace recorder (obs/): state transitions, search-bracket moves,
+  // FineGrainedOptimize outcomes and capability shifts become instant events
+  // on the "balancer" track, stamped from `*virtual_clock` (the owning
+  // simulation's virtual time). Either pointer null disables emission; the
+  // balancer never writes the clock.
+  void set_trace(TraceRecorder* trace, const double* virtual_clock) {
+    trace_ = trace;
+    clock_ = virtual_clock;
+  }
+
  private:
   bool gap_ok(const ObservedStepTimes& t) const;
   // True when observed-vs-predicted divergence says the machine changed.
@@ -171,10 +183,14 @@ class LoadBalancer {
                         const ObservedStepTimes& observed,
                         const NodeSimulator& node, LbStepReport& r);
 
+  void trace_step(const LbStepReport& r) const;
+
   LoadBalancerConfig config_;
   TraversalConfig traversal_;
   CostModel model_;
   InteractionListCache* cache_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+  const double* clock_ = nullptr;
   LbState state_ = LbState::kSearch;
   int s_;
 

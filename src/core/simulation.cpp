@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/step_emitter.hpp"
+
 namespace afmm {
 
 GravitySimulation::GravitySimulation(const SimulationConfig& config,
@@ -19,6 +21,7 @@ GravitySimulation::GravitySimulation(const SimulationConfig& config,
   tree_.build(bodies_.positions, tc);
   initial_solve();
   init_resilience();
+  init_obs();
 }
 
 GravitySimulation::GravitySimulation(const SimulationConfig& config,
@@ -32,6 +35,18 @@ GravitySimulation::GravitySimulation(const SimulationConfig& config,
   balancer_.set_list_cache(&list_cache_);
   restore(ckpt);
   init_resilience();
+  init_obs();
+}
+
+void GravitySimulation::init_obs() {
+  if (config_.obs.trace) {
+    trace_ = std::make_unique<TraceRecorder>();
+    balancer_.set_trace(trace_.get(), &virtual_now_);
+  }
+  if (config_.obs.metrics) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+    register_step_metrics(*metrics_);
+  }
 }
 
 void GravitySimulation::init_resilience() {
@@ -57,7 +72,11 @@ void GravitySimulation::initial_solve() {
 
 StepRecord GravitySimulation::step() {
   const ResilienceConfig& rz = config_.resilience;
-  if (!rz.enabled()) return step_core();
+  if (!rz.enabled()) {
+    StepRecord rec = step_core();
+    finish_step_obs(rec);
+    return rec;
+  }
 
   watchdog_.arm();
   StepRecord rec = step_core();
@@ -83,7 +102,26 @@ StepRecord GravitySimulation::step() {
     if (store_) store_->save(*last_good_);
     rec.checkpointed = true;
   }
+  finish_step_obs(rec);
   return rec;
+}
+
+void GravitySimulation::finish_step_obs(const StepRecord& rec) {
+  if (!pending_obs_) return;
+  StepObsInput in;
+  in.rec = &rec;
+  in.times = &pending_obs_->times;
+  in.gpu = &pending_obs_->gpu;
+  in.link = &solver_.node().gpus().link;
+  in.faults = std::move(pending_obs_->faults);
+  in.wall_ops = pending_obs_->wall.get();
+  in.t0 = virtual_now_;
+  in.rebin_seconds = pending_obs_->rebin_seconds;
+  in.cache_builds = list_cache_.builds();
+  in.cache_hits = list_cache_.hits();
+  in.cache_refreshes = list_cache_.refreshes();
+  virtual_now_ += emit_step(trace_.get(), metrics_.get(), in);
+  pending_obs_.reset();
 }
 
 StepRecord GravitySimulation::step_core() {
@@ -99,7 +137,8 @@ StepRecord GravitySimulation::step_core() {
   // Maintenance: bodies moved, so re-bin them into the current structure;
   // the balancer may then rebuild / enforce / fine-tune.
   tree_.rebin(bodies_.positions);
-  rec.lb_seconds += solver_.node().rebin_seconds(bodies_.size());
+  const double rebin_s = solver_.node().rebin_seconds(bodies_.size());
+  rec.lb_seconds += rebin_s;
 
   const auto lb = balancer_.post_step(tree_, bodies_.positions,
                                       *last_observed_, solver_.node());
@@ -114,13 +153,31 @@ StepRecord GravitySimulation::step_core() {
   // Faults for this step fire after balancing, before the solve: the solve
   // runs on the degraded machine and the balancer reacts next step.
   MachineHealth& health = solver_.node().health();
-  rec.faults_fired =
-      static_cast<int>(injector_.advance_to(step_count_, health).size());
+  auto fired = injector_.advance_to(step_count_, health);
+  rec.faults_fired = static_cast<int>(fired.size());
   rec.alive_gpus = health.num_alive_gpus();
   rec.gpu_capability = health.total_gpu_capability();
   rec.effective_cores = solver_.node().effective_cores();
 
   auto res = solver_.solve(tree_, bodies_.positions, bodies_.masses);
+  // Honest predictions: the model has only digested times through the
+  // previous step, so these are what it would have forecast for this one.
+  if (balancer_.cost_model().ready()) {
+    rec.predicted_far_seconds =
+        balancer_.cost_model().predict_far(res.times.counts,
+                                           rec.effective_cores);
+    rec.predicted_near_seconds =
+        balancer_.cost_model().predict_near(res.times.counts);
+  }
+  if (trace_ || metrics_) {
+    PendingObs obs;
+    obs.times = res.times;
+    obs.gpu = res.gpu;
+    obs.faults = std::move(fired);
+    if (config_.obs.wall_ops) obs.wall = res.real_timings;
+    obs.rebin_seconds = rebin_s;
+    pending_obs_.emplace(std::move(obs));
+  }
   for (std::size_t i = 0; i < bodies_.size(); ++i) {
     accel_[i] = config_.grav_const * res.gradient[i];
     bodies_.velocities[i] += 0.5 * dt * accel_[i];

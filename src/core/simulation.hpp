@@ -20,6 +20,7 @@
 // so enabling resilience never perturbs a healthy trajectory.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -27,9 +28,25 @@
 #include "core/fmm_solver.hpp"
 #include "dist/distributions.hpp"
 #include "faults/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "state/checkpoint.hpp"
 
 namespace afmm {
+
+// Observability policy (obs/): step tracing and metric sampling. Both sinks
+// are strictly read-only over the simulation, so enabling them leaves the
+// trajectory bit-identical to an observability-off run; when both are off no
+// recorder is even allocated (null-sink, zero overhead).
+struct ObsConfig {
+  bool trace = false;    // record Chrome-trace events (virtual-time tracks)
+  bool metrics = false;  // sample the metrics registry once per step
+  // Mirror REAL per-operation wall times (requires fmm.collect_real_timings)
+  // onto the wall-time trace process. Off by default because wall clocks are
+  // nondeterministic and would break byte-identical trace comparisons.
+  bool wall_ops = false;
+  bool enabled() const { return trace || metrics; }
+};
 
 struct SimulationConfig {
   FmmConfig fmm;
@@ -44,6 +61,8 @@ struct SimulationConfig {
   std::uint64_t fault_seed = 0x5eed;
   // Checkpoint / audit / watchdog policy (everything off by default).
   ResilienceConfig resilience;
+  // Step tracing + metrics sampling (everything off by default).
+  ObsConfig obs;
 };
 
 struct StepRecord {
@@ -67,6 +86,12 @@ struct StepRecord {
   bool capability_shift = false; // balancer reset + re-entered Search
   bool cpu_fallback = false;     // near field ran on the CPU (no GPUs alive)
   int transfer_retries = 0;
+  // Cost-model predictions for THIS step's operation counts, made from the
+  // coefficients as they stood before this step's times were observed (the
+  // same quantities the capability-shift detector judges). Zero until the
+  // model has observations.
+  double predicted_far_seconds = 0.0;
+  double predicted_near_seconds = 0.0;
   // Resilience bookkeeping (all false/-1 when resilience is disabled).
   bool audited = false;          // invariant audit ran after this step
   bool audit_failed = false;     // ... and found violations
@@ -107,6 +132,15 @@ class GravitySimulation {
   // traversal per structure change, zero when the structure is stable.
   const InteractionListCache& list_cache() const { return list_cache_; }
 
+  // Observability sinks (null when the corresponding ObsConfig flag is off).
+  TraceRecorder* trace() { return trace_.get(); }
+  const TraceRecorder* trace() const { return trace_.get(); }
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+  // Accumulated virtual (simulated) seconds of all steps taken; advances
+  // only while observability is enabled (it exists for the trace timeline).
+  double virtual_now() const { return virtual_now_; }
+
   // Total energy (kinetic + potential) from the last solve; a diagnostic
   // for the integrator tests. Uses the softened potential.
   double total_energy() const;
@@ -133,8 +167,12 @@ class GravitySimulation {
  private:
   void initial_solve();
   void init_resilience();
+  void init_obs();
   StepRecord step_core();
   void roll_back(StepRecord& rec);
+  // Emits the pending step observation (trace events + metric rows) and
+  // advances the virtual clock; no-op when observability is off.
+  void finish_step_obs(const StepRecord& rec);
 
   SimulationConfig config_;
   InteractionListCache list_cache_;
@@ -153,6 +191,22 @@ class GravitySimulation {
   std::optional<CheckpointStore> store_;
   std::optional<SimCheckpoint> last_good_;
   int rollbacks_ = 0;
+
+  // Observability state (null / unused while config_.obs is disabled). The
+  // pending struct carries what step_core saw, so emission can run at the
+  // very end of step() with the resilience flags already folded into the
+  // record.
+  struct PendingObs {
+    ObservedStepTimes times;
+    GpuRunResult gpu;
+    std::vector<FaultEvent> faults;
+    std::shared_ptr<OpTimers> wall;
+    double rebin_seconds = 0.0;
+  };
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::optional<PendingObs> pending_obs_;
+  double virtual_now_ = 0.0;
 };
 
 }  // namespace afmm

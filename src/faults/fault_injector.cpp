@@ -1,6 +1,7 @@
 #include "faults/fault_injector.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace afmm {
@@ -28,6 +29,35 @@ const char* to_string(FaultKind k) {
     case FaultKind::kTransferFaults: return "transfer-faults";
   }
   return "?";
+}
+
+std::string describe(const FaultEvent& e) {
+  char buf[96];
+  switch (e.kind) {
+    case FaultKind::kGpuLoss:
+    case FaultKind::kGpuRecovery:
+      std::snprintf(buf, sizeof(buf), "%s dev=%d", to_string(e.kind),
+                    e.device);
+      break;
+    case FaultKind::kGpuThrottle:
+      std::snprintf(buf, sizeof(buf), "%s dev=%d clock=%g", to_string(e.kind),
+                    e.device, e.clock_scale);
+      break;
+    case FaultKind::kCpuPreemption:
+      std::snprintf(buf, sizeof(buf), "%s cores=%d", to_string(e.kind),
+                    e.cores);
+      break;
+    case FaultKind::kCpuRestore:
+      std::snprintf(buf, sizeof(buf), "%s", to_string(e.kind));
+      break;
+    case FaultKind::kTransferFaults:
+      std::snprintf(buf, sizeof(buf), "%s p=%g for %d steps",
+                    to_string(e.kind), e.fail_prob, e.duration);
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "%s", to_string(e.kind));
+  }
+  return buf;
 }
 
 FaultSchedule& FaultSchedule::gpu_loss(int step, int device) {

@@ -37,6 +37,11 @@ enum class FaultKind {
 
 const char* to_string(FaultKind k);
 
+struct FaultEvent;
+// Human-readable one-liner for logs and trace-event args, e.g.
+// "gpu-throttle dev=1 clock=0.6" or "transfer-faults p=0.3 for 5 steps".
+std::string describe(const FaultEvent& e);
+
 struct FaultEvent {
   int step = 0;
   FaultKind kind = FaultKind::kGpuLoss;

@@ -49,6 +49,7 @@ GpuRunResult simulate_p2p_timing(const AdaptiveOctree& tree,
   result.imbalance = partition_imbalance(work, assignment, weights);
 
   std::vector<GpuTransferShape> transfers;
+  result.transfers.assign(system.devices.size(), GpuTransferShape{});
   for (std::size_t dev = 0; dev < system.devices.size(); ++dev) {
     if (weights[dev] <= 0.0) {
       result.per_gpu.push_back(GpuKernelTiming{});  // dead: no work, no time
@@ -70,6 +71,7 @@ GpuRunResult simulate_p2p_timing(const AdaptiveOctree& tree,
     }
     transfers.push_back(gravity_transfer_shape(tree.num_bodies(), targets,
                                                list_entries, timing.seconds));
+    result.transfers[dev] = transfers.back();
     result.per_gpu.push_back(std::move(timing));
   }
 

@@ -68,6 +68,11 @@ struct GpuRunResult {
   // CPU-GPU communication timeline of the step (Section III.D): the
   // non-blocking launch, upload+kernel completion, and the blocking gather.
   StepTimeline timeline;
+  // Per-DEVICE transfer shapes (one entry per configured device; dead or
+  // workless devices keep a zero shape). Observability uses these to draw
+  // per-GPU upload/kernel/download spans; the timeline above is still
+  // planned from the alive devices only, so timing is unchanged.
+  std::vector<GpuTransferShape> transfers;
 };
 
 // Timing-only evaluation of the P2P phase (no numerics): capability-weighted

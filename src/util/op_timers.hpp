@@ -4,14 +4,25 @@
 // out each operation"; coefficients are then total time / total count summed
 // over threads.
 //
-// Slots are cache-line padded so concurrent OpenMP task workers never share
-// a line. summarize() folds all threads into per-operation totals and
-// observational coefficients.
+// Correctness contract (the balancer derives its coefficients from these
+// numbers, so they are load-bearing, not diagnostic):
+//
+//   * every thread gets its OWN slot, no matter how many threads the OpenMP
+//     runtime creates. The first kInlineThreads ids use cache-line padded
+//     lock-free slots; higher ids (oversubscribed or explicitly enlarged
+//     teams) fall back to a mutex-guarded overflow map instead of silently
+//     aliasing onto slot id % kInlineThreads and racing;
+//   * nested Scoped timers accrue SELF time only: a scope that is open while
+//     an inner scope runs (on the same thread) subtracts the inner scope's
+//     elapsed time, so each wall-clock second is attributed to exactly one
+//     operator and total_seconds() can never exceed threads x wall time.
 #pragma once
 
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
 
 namespace afmm {
 
@@ -39,26 +50,41 @@ struct OpTotals {
 
 class OpTimers {
  public:
-  static constexpr int kMaxThreads = 64;
+  // Lock-free fast-path slots; thread ids at or above this go through the
+  // guarded overflow map (correct, merely slower -- and exercised only when
+  // the runtime oversubscribes).
+  static constexpr int kInlineThreads = 64;
 
   OpTimers() = default;
+  OpTimers(const OpTimers&) = delete;
+  OpTimers& operator=(const OpTimers&) = delete;
 
   // Accumulate `seconds` and `count` applications of `op` on the calling
   // thread's slot. Thread id is taken from omp_get_thread_num().
   void add(FmmOp op, double seconds, std::uint64_t count = 1);
 
-  // RAII scope: times its lifetime and accumulates on destruction.
+  // RAII scope: times its lifetime and accumulates on destruction. Nested
+  // scopes on one thread form a stack; each scope reports its lifetime MINUS
+  // the lifetimes of scopes nested inside it, so operator seconds are never
+  // double counted when task bodies open their own timers.
   class Scoped {
    public:
     Scoped(OpTimers* timers, FmmOp op, std::uint64_t count = 1)
         : timers_(timers), op_(op), count_(count) {
-      if (timers_) start_ = std::chrono::steady_clock::now();
+      if (!timers_) return;
+      parent_ = tl_top_;
+      tl_top_ = this;
+      start_ = std::chrono::steady_clock::now();
     }
     ~Scoped() {
       if (!timers_) return;
       const auto end = std::chrono::steady_clock::now();
-      timers_->add(op_, std::chrono::duration<double>(end - start_).count(),
-                   count_);
+      const double elapsed =
+          std::chrono::duration<double>(end - start_).count();
+      tl_top_ = parent_;
+      if (parent_) parent_->child_seconds_ += elapsed;
+      const double self = elapsed - child_seconds_;
+      timers_->add(op_, self > 0.0 ? self : 0.0, count_);
     }
     Scoped(const Scoped&) = delete;
     Scoped& operator=(const Scoped&) = delete;
@@ -68,6 +94,10 @@ class OpTimers {
     FmmOp op_;
     std::uint64_t count_;
     std::chrono::steady_clock::time_point start_;
+    // Wall time spent inside scopes nested within this one (same thread).
+    double child_seconds_ = 0.0;
+    Scoped* parent_ = nullptr;
+    inline static thread_local Scoped* tl_top_ = nullptr;
   };
 
   // Sums all thread slots for one operation.
@@ -76,14 +106,24 @@ class OpTimers {
   // Total measured seconds across all operations and threads.
   double total_seconds() const;
 
+  // Distinct thread slots that have recorded anything (regression hook for
+  // the aliasing fix: must match the number of participating threads).
+  int threads_seen() const;
+
   void reset();
 
  private:
   struct alignas(64) Slot {
     std::array<double, static_cast<int>(FmmOp::kCount)> seconds{};
     std::array<std::uint64_t, static_cast<int>(FmmOp::kCount)> counts{};
+    bool used = false;
   };
-  std::array<Slot, kMaxThreads> slots_{};
+
+  std::array<Slot, kInlineThreads> slots_{};
+  // Threads with omp_get_thread_num() >= kInlineThreads; guarded because
+  // several such threads may insert concurrently.
+  mutable std::mutex overflow_mu_;
+  std::map<int, Slot> overflow_;
 };
 
 }  // namespace afmm

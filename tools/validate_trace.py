@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a trace produced by the obs/ subsystem (bench/trace_demo).
+
+Checks, in order:
+  1. the file parses as JSON and is a Chrome trace-event container
+     ({"traceEvents": [...]});
+  2. every event carries the fields its phase requires, with sane types
+     (ph/pid/tid/name/ts, dur on "X", args.value on "C");
+  3. timestamps are non-negative and durations finite;
+  4. per-pid/tid metadata ("M" process_name / thread_name) exists for every
+     track that carries events;
+  5. the expected event categories are present (--require, default the full
+     set trace_demo exercises).
+
+Exit 0 on success; nonzero with a message on the first violation. Stdlib
+only, so it runs anywhere CI has a python3.
+
+Usage: tools/validate_trace.py results/trace_demo.json [--require step,fault]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+DEFAULT_REQUIRED = "step,tree,balancer,expansion,p2p,transfer,fault,state"
+VALID_PHASES = {"X", "i", "C", "M"}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="path to the trace JSON")
+    ap.add_argument(
+        "--require",
+        default=DEFAULT_REQUIRED,
+        help="comma-separated categories that must appear "
+        f"(default: {DEFAULT_REQUIRED}; pass '' to skip)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("not a trace-event container (missing 'traceEvents')")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("'traceEvents' is empty or not a list")
+
+    named_tracks = set()   # (pid, tid) with a thread_name metadata event
+    named_pids = set()     # pid with a process_name metadata event
+    used_tracks = set()
+    categories = {}
+    for i, e in enumerate(events):
+        where = f"event {i} ({e.get('name', '?')!r})"
+        ph = e.get("ph")
+        if ph not in VALID_PHASES:
+            fail(f"{where}: unknown phase {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                fail(f"{where}: missing/non-integer {key!r}")
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(f"{where}: missing name")
+        if ph == "M":
+            if e["name"] == "process_name":
+                named_pids.add(e["pid"])
+            elif e["name"] == "thread_name":
+                named_tracks.add((e["pid"], e["tid"]))
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            fail(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if (not isinstance(dur, (int, float)) or not math.isfinite(dur)
+                    or dur < 0):
+                fail(f"{where}: bad dur {dur!r}")
+        if ph == "C" and "value" not in e.get("args", {}):
+            fail(f"{where}: counter without args.value")
+        used_tracks.add((e["pid"], e["tid"]))
+        cat = e.get("cat", "")
+        categories[cat] = categories.get(cat, 0) + 1
+
+    for pid, tid in sorted(used_tracks):
+        if pid not in named_pids:
+            fail(f"pid {pid} carries events but has no process_name metadata")
+        if (pid, tid) not in named_tracks:
+            fail(f"track pid={pid} tid={tid} carries events but has no "
+                 "thread_name metadata")
+
+    required = [c for c in args.require.split(",") if c]
+    missing = [c for c in required if c not in categories]
+    if missing:
+        fail(f"missing required categories: {', '.join(missing)} "
+             f"(present: {', '.join(sorted(categories))})")
+
+    n = sum(categories.values())
+    cats = ", ".join(f"{k}={v}" for k, v in sorted(categories.items()))
+    print(f"validate_trace: OK: {n} events on {len(used_tracks)} tracks "
+          f"({cats})")
+
+
+if __name__ == "__main__":
+    main()
