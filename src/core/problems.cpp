@@ -1,0 +1,168 @@
+#include "core/problems.hpp"
+
+#include <limits>
+#include <numbers>
+#include <utility>
+
+namespace afmm {
+
+// --- GravityProblem ---------------------------------------------------------
+
+GravityProblem::GravityProblem(const FmmConfig& fmm, double grav_const,
+                               double softening, NodeSimulator node,
+                               ParticleSet bodies)
+    : solver_(std::make_unique<GravitySolver>(fmm, std::move(node),
+                                               GravityKernel(softening))),
+      grav_const_(grav_const),
+      softening_(softening),
+      bodies_(std::move(bodies)) {}
+
+SolveOutcome GravityProblem::initial_solve(const AdaptiveOctree& tree) {
+  auto res = solver_->solve(tree, bodies_.positions, bodies_.masses);
+  accel_.resize(bodies_.size());
+  for (std::size_t i = 0; i < bodies_.size(); ++i)
+    accel_[i] = grav_const_ * res.gradient[i];
+  potential_ = std::move(res.potential);
+  return {res.times, res.gpu, res.stats, res.real_timings};
+}
+
+void GravityProblem::pre_solve(double dt) {
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    bodies_.velocities[i] += 0.5 * dt * accel_[i];
+    bodies_.positions[i] += dt * bodies_.velocities[i];
+  }
+}
+
+SolveOutcome GravityProblem::solve(const AdaptiveOctree& tree) {
+  pending_ = solver_->solve(tree, bodies_.positions, bodies_.masses);
+  return {pending_->times, pending_->gpu, pending_->stats,
+          pending_->real_timings};
+}
+
+void GravityProblem::post_solve(double dt) {
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    accel_[i] = grav_const_ * pending_->gradient[i];
+    bodies_.velocities[i] += 0.5 * dt * accel_[i];
+  }
+  potential_ = std::move(pending_->potential);
+  pending_.reset();
+}
+
+void GravityProblem::save_state(SimCheckpoint& ckpt) const {
+  ckpt.bodies = bodies_;
+  ckpt.accel = accel_;
+  ckpt.potential = potential_;
+}
+
+void GravityProblem::load_state(const SimCheckpoint& ckpt) {
+  bodies_ = ckpt.bodies;
+  accel_ = ckpt.accel;
+  potential_ = ckpt.potential;
+}
+
+void GravityProblem::audit_state(const AuditConfig& audit,
+                                 AuditReport& report) const {
+  audit_finite(std::span<const Vec3>(bodies_.positions), "position", report);
+  audit_finite(std::span<const Vec3>(bodies_.velocities), "velocity", report);
+  audit_finite(std::span<const Vec3>(accel_), "accel", report);
+  audit_finite(std::span<const double>(potential_), "potential", report);
+  if (audit.force_samples > 0)
+    audit_sampled_gravity(bodies_.positions, bodies_.masses, accel_,
+                          grav_const_, softening_, audit.force_samples,
+                          audit.force_rel_tol, report);
+}
+
+double GravityProblem::total_energy() const {
+  double kinetic = 0.0;
+  double potential = 0.0;
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    kinetic += 0.5 * bodies_.masses[i] * norm2(bodies_.velocities[i]);
+    potential -= 0.5 * grav_const_ * bodies_.masses[i] * potential_[i];
+  }
+  return kinetic + potential;
+}
+
+void GravityProblem::corrupt_force_for_test(std::size_t i) {
+  accel_[i].x = std::numeric_limits<double>::quiet_NaN();
+}
+
+// --- StokesProblem ----------------------------------------------------------
+
+ForceModel constant_force(const Vec3& f) {
+  return [f](std::span<const Vec3> positions, std::span<Vec3> forces) {
+    (void)positions;
+    for (auto& out : forces) out = f;
+  };
+}
+
+StokesProblem::StokesProblem(const FmmConfig& fmm, double epsilon,
+                             double viscosity, NodeSimulator node,
+                             std::vector<Vec3> positions,
+                             ForceModel force_model)
+    : solver_(std::make_unique<StokesletSolver>(fmm, std::move(node),
+                                                 epsilon)),
+      viscosity_(viscosity),
+      force_model_(std::move(force_model)),
+      positions_(std::move(positions)),
+      velocities_(positions_.size()),
+      forces_(positions_.size()) {}
+
+SolveOutcome StokesProblem::run_solver(const AdaptiveOctree& tree) {
+  force_model_(positions_, forces_);
+  pending_ = solver_->solve(tree, positions_, forces_);
+  return {pending_->times, pending_->gpu, pending_->stats,
+          pending_->real_timings};
+}
+
+SolveOutcome StokesProblem::initial_solve(const AdaptiveOctree& tree) {
+  SolveOutcome out = run_solver(tree);
+  // Prime the induced velocities without advecting: the first step's
+  // post_solve does the first position update.
+  const double mobility =
+      1.0 / (8.0 * std::numbers::pi_v<double> * viscosity_);
+  for (std::size_t i = 0; i < positions_.size(); ++i)
+    velocities_[i] = mobility * pending_->velocity[i];
+  pending_.reset();
+  return out;
+}
+
+void StokesProblem::pre_solve(double dt) {
+  // No inertia: positions already advected at the end of the previous step.
+  (void)dt;
+}
+
+SolveOutcome StokesProblem::solve(const AdaptiveOctree& tree) {
+  return run_solver(tree);
+}
+
+void StokesProblem::post_solve(double dt) {
+  const double mobility =
+      1.0 / (8.0 * std::numbers::pi_v<double> * viscosity_);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    velocities_[i] = mobility * pending_->velocity[i];
+    positions_[i] += dt * velocities_[i];
+  }
+  pending_.reset();
+}
+
+void StokesProblem::save_state(SimCheckpoint& ckpt) const {
+  ckpt.bodies.positions = positions_;
+  ckpt.bodies.velocities = velocities_;  // masses stay empty: Stokeslets
+}
+
+void StokesProblem::load_state(const SimCheckpoint& ckpt) {
+  positions_ = ckpt.bodies.positions;
+  velocities_ = ckpt.bodies.velocities;
+  velocities_.resize(positions_.size());
+  forces_.resize(positions_.size());
+}
+
+void StokesProblem::audit_state(const AuditConfig& audit,
+                                AuditReport& report) const {
+  (void)audit;  // no sampled direct sum: forces are re-derived every solve
+  audit_finite(std::span<const Vec3>(positions_), "position", report);
+  audit_finite(std::span<const Vec3>(velocities_), "velocity", report);
+  audit_finite(std::span<const Vec3>(forces_), "force", report);
+}
+
+}  // namespace afmm

@@ -1,308 +1,21 @@
 #include "core/simulation.hpp"
 
-#include <limits>
-#include <stdexcept>
-
-#include "obs/step_emitter.hpp"
+#include <utility>
 
 namespace afmm {
 
 GravitySimulation::GravitySimulation(const SimulationConfig& config,
                                      NodeSimulator node, ParticleSet bodies)
-    : config_(config),
-      solver_(config.fmm, std::move(node), GravityKernel(config.softening)),
-      balancer_(config.balancer, config.fmm.traversal),
-      injector_(config.faults, config.fault_seed),
-      bodies_(std::move(bodies)) {
-  solver_.set_list_cache(&list_cache_);
-  balancer_.set_list_cache(&list_cache_);
-  TreeConfig tc = config_.tree;
-  tc.leaf_capacity = config_.balancer.initial_S;
-  tree_.build(bodies_.positions, tc);
-  initial_solve();
-  init_resilience();
-  init_obs();
-}
+    : engine_(config,
+              GravityProblem(config.fmm, config.grav_const, config.softening,
+                             std::move(node), std::move(bodies))) {}
 
 GravitySimulation::GravitySimulation(const SimulationConfig& config,
                                      NodeSimulator node,
                                      const SimCheckpoint& ckpt)
-    : config_(config),
-      solver_(config.fmm, std::move(node), GravityKernel(config.softening)),
-      balancer_(config.balancer, config.fmm.traversal),
-      injector_(config.faults, config.fault_seed) {
-  solver_.set_list_cache(&list_cache_);
-  balancer_.set_list_cache(&list_cache_);
-  restore(ckpt);
-  init_resilience();
-  init_obs();
-}
-
-void GravitySimulation::init_obs() {
-  if (config_.obs.trace) {
-    trace_ = std::make_unique<TraceRecorder>();
-    balancer_.set_trace(trace_.get(), &virtual_now_);
-  }
-  if (config_.obs.metrics) {
-    metrics_ = std::make_unique<MetricsRegistry>();
-    register_step_metrics(*metrics_);
-  }
-}
-
-void GravitySimulation::init_resilience() {
-  const ResilienceConfig& rz = config_.resilience;
-  if (!rz.enabled()) return;
-  watchdog_ = StepWatchdog(rz.watchdog);
-  if (!rz.checkpoint_dir.empty())
-    store_.emplace(rz.checkpoint_dir, rz.checkpoint_keep);
-  // Seed the rollback target so recovery works before the first scheduled
-  // checkpoint. For a restored run this re-snapshots the restored state.
-  last_good_ = checkpoint();
-  if (store_ && rz.checkpoint_interval > 0) store_->save(*last_good_);
-}
-
-void GravitySimulation::initial_solve() {
-  auto res = solver_.solve(tree_, bodies_.positions, bodies_.masses);
-  accel_.resize(bodies_.size());
-  for (std::size_t i = 0; i < bodies_.size(); ++i)
-    accel_[i] = config_.grav_const * res.gradient[i];
-  potential_ = std::move(res.potential);
-  last_observed_ = res.times;
-}
-
-StepRecord GravitySimulation::step() {
-  const ResilienceConfig& rz = config_.resilience;
-  if (!rz.enabled()) {
-    StepRecord rec = step_core();
-    finish_step_obs(rec);
-    return rec;
-  }
-
-  watchdog_.arm();
-  StepRecord rec = step_core();
-  rec.watchdog_tripped = watchdog_.tripped(rec.total_seconds());
-
-  // Every audit / checkpoint below only READS simulation state, so a healthy
-  // resilient run stays bit-identical to the same run without resilience.
-  const bool checkpoint_due = rz.checkpoint_interval > 0 &&
-                              step_count_ % rz.checkpoint_interval == 0;
-  const bool audit_due =
-      (rz.audit.interval > 0 && step_count_ % rz.audit.interval == 0) ||
-      checkpoint_due;  // never snapshot state that has not passed an audit
-  bool failed = rec.watchdog_tripped;
-  if (!failed && audit_due) {
-    rec.audited = true;
-    rec.audit_failed = !run_audit().ok();
-    failed = rec.audit_failed;
-  }
-  if (failed && rz.rollback_on_failure) {
-    roll_back(rec);
-  } else if (!failed && checkpoint_due) {
-    last_good_ = checkpoint();
-    if (store_) store_->save(*last_good_);
-    rec.checkpointed = true;
-  }
-  finish_step_obs(rec);
-  return rec;
-}
-
-void GravitySimulation::finish_step_obs(const StepRecord& rec) {
-  if (!pending_obs_) return;
-  StepObsInput in;
-  in.rec = &rec;
-  in.times = &pending_obs_->times;
-  in.gpu = &pending_obs_->gpu;
-  in.link = &solver_.node().gpus().link;
-  in.faults = std::move(pending_obs_->faults);
-  in.wall_ops = pending_obs_->wall.get();
-  in.t0 = virtual_now_;
-  in.rebin_seconds = pending_obs_->rebin_seconds;
-  in.cache_builds = list_cache_.builds();
-  in.cache_hits = list_cache_.hits();
-  in.cache_refreshes = list_cache_.refreshes();
-  virtual_now_ += emit_step(trace_.get(), metrics_.get(), in);
-  pending_obs_.reset();
-}
-
-StepRecord GravitySimulation::step_core() {
-  StepRecord rec;
-  rec.step = step_count_;
-
-  const double dt = config_.dt;
-  for (std::size_t i = 0; i < bodies_.size(); ++i) {
-    bodies_.velocities[i] += 0.5 * dt * accel_[i];
-    bodies_.positions[i] += dt * bodies_.velocities[i];
-  }
-
-  // Maintenance: bodies moved, so re-bin them into the current structure;
-  // the balancer may then rebuild / enforce / fine-tune.
-  tree_.rebin(bodies_.positions);
-  const double rebin_s = solver_.node().rebin_seconds(bodies_.size());
-  rec.lb_seconds += rebin_s;
-
-  const auto lb = balancer_.post_step(tree_, bodies_.positions,
-                                      *last_observed_, solver_.node());
-  rec.lb_seconds += lb.lb_seconds;
-  rec.S = lb.S;
-  rec.state = lb.state_after;
-  rec.rebuilt = lb.rebuilt;
-  rec.enforce_ops = lb.enforce_ops;
-  rec.fgo_ops = lb.fgo_ops;
-  rec.capability_shift = lb.capability_shift;
-
-  // Faults for this step fire after balancing, before the solve: the solve
-  // runs on the degraded machine and the balancer reacts next step.
-  MachineHealth& health = solver_.node().health();
-  auto fired = injector_.advance_to(step_count_, health);
-  rec.faults_fired = static_cast<int>(fired.size());
-  rec.alive_gpus = health.num_alive_gpus();
-  rec.gpu_capability = health.total_gpu_capability();
-  rec.effective_cores = solver_.node().effective_cores();
-
-  auto res = solver_.solve(tree_, bodies_.positions, bodies_.masses);
-  // Honest predictions: the model has only digested times through the
-  // previous step, so these are what it would have forecast for this one.
-  if (balancer_.cost_model().ready()) {
-    rec.predicted_far_seconds =
-        balancer_.cost_model().predict_far(res.times.counts,
-                                           rec.effective_cores);
-    rec.predicted_near_seconds =
-        balancer_.cost_model().predict_near(res.times.counts);
-  }
-  if (trace_ || metrics_) {
-    PendingObs obs;
-    obs.times = res.times;
-    obs.gpu = res.gpu;
-    obs.faults = std::move(fired);
-    if (config_.obs.wall_ops) obs.wall = res.real_timings;
-    obs.rebin_seconds = rebin_s;
-    pending_obs_.emplace(std::move(obs));
-  }
-  for (std::size_t i = 0; i < bodies_.size(); ++i) {
-    accel_[i] = config_.grav_const * res.gradient[i];
-    bodies_.velocities[i] += 0.5 * dt * accel_[i];
-  }
-  potential_ = std::move(res.potential);
-  last_observed_ = res.times;
-
-  rec.compute_seconds = res.times.compute_seconds();
-  rec.cpu_seconds = res.times.cpu_seconds;
-  rec.gpu_seconds = res.times.gpu_seconds;
-  rec.stats = res.stats;
-  rec.cpu_fallback = res.gpu.cpu_fallback;
-  rec.transfer_retries = res.times.transfer_retries;
-
-  ++step_count_;
-  return rec;
-}
-
-std::vector<StepRecord> GravitySimulation::run(int n) {
-  std::vector<StepRecord> out;
-  out.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) out.push_back(step());
-  return out;
-}
-
-SimCheckpoint GravitySimulation::checkpoint() const {
-  SimCheckpoint c;
-  c.kind = SimKind::kGravity;
-  c.step = step_count_;
-  c.bodies = bodies_;
-  c.accel = accel_;
-  c.potential = potential_;
-  c.has_observed = last_observed_.has_value();
-  if (last_observed_) c.observed = *last_observed_;
-  c.tree = tree_.snapshot();
-  c.balancer = balancer_.snapshot();
-  c.health = solver_.node().health();
-  c.injector = injector_.snapshot();
-  return c;
-}
-
-void GravitySimulation::restore(const SimCheckpoint& ckpt) {
-  if (ckpt.kind != SimKind::kGravity)
-    throw std::invalid_argument("checkpoint is not a gravity simulation");
-  step_count_ = ckpt.step;
-  bodies_ = ckpt.bodies;
-  accel_ = ckpt.accel;
-  potential_ = ckpt.potential;
-  if (ckpt.has_observed)
-    last_observed_ = ckpt.observed;
-  else
-    last_observed_.reset();
-  tree_.restore(ckpt.tree);
-  balancer_.restore(ckpt.balancer);
-  solver_.node().health() = ckpt.health;
-  injector_.restore(ckpt.injector);
-}
-
-AuditReport GravitySimulation::run_audit() const {
-  const AuditConfig& a = config_.resilience.audit;
-  AuditReport report;
-  audit_tree(tree_, balancer_.current_S(), a.leaf_capacity_slack, report);
-  audit_finite(std::span<const Vec3>(bodies_.positions), "position", report);
-  audit_finite(std::span<const Vec3>(bodies_.velocities), "velocity", report);
-  audit_finite(std::span<const Vec3>(accel_), "accel", report);
-  audit_finite(std::span<const double>(potential_), "potential", report);
-  audit_cost_model(balancer_.cost_model(), report);
-  if (a.force_samples > 0)
-    audit_sampled_gravity(bodies_.positions, bodies_.masses, accel_,
-                          config_.grav_const, config_.softening,
-                          a.force_samples, a.force_rel_tol, report);
-  return report;
-}
-
-void GravitySimulation::roll_back(StepRecord& rec) {
-  // The in-memory snapshot is the freshest good state; the on-disk store is
-  // the fallback when there is none (e.g. recovery misconfiguration).
-  std::optional<SimCheckpoint> good = last_good_;
-  if (!good && store_) good = store_->load_latest();
-  if (!good) return;  // nowhere to go; the record keeps its failure flags
-
-  restore(*good);
-  // The snapshot passed its audit, but rebuild the tree from scratch at the
-  // restored S anyway: rollback is rare, a rebuild is cheap insurance against
-  // corruption that slipped past the structural checks, and the balancer is
-  // about to re-learn the machine regardless.
-  TreeConfig tc = config_.tree;
-  tc.leaf_capacity = balancer_.current_S();
-  tree_.build(bodies_.positions, tc);
-  balancer_.reenter_search();
-  initial_solve();
-
-  rec.rolled_back = true;
-  rec.restored_step = step_count_;
-  ++rollbacks_;
-}
-
-void GravitySimulation::corrupt_force_for_test(std::size_t i) {
-  accel_[i].x = std::numeric_limits<double>::quiet_NaN();
-}
-
-void GravitySimulation::corrupt_tree_for_test() {
-  // Break a parent link below an effective internal node without bumping the
-  // version stamps -- the list cache keeps serving the stale structure,
-  // exactly like real in-memory corruption would look.
-  for (int id = 0; id < tree_.num_nodes(); ++id) {
-    const auto& n = tree_.node(id);
-    if (n.has_children && !n.collapsed) {
-      tree_.mutable_node_for_test(n.children[0]).parent = -7;
-      return;
-    }
-  }
-  // Single-leaf tree: corrupt the root span instead.
-  tree_.mutable_node_for_test(tree_.root()).count += 12345;
-}
-
-double GravitySimulation::total_energy() const {
-  double kinetic = 0.0;
-  double potential = 0.0;
-  for (std::size_t i = 0; i < bodies_.size(); ++i) {
-    kinetic += 0.5 * bodies_.masses[i] * norm2(bodies_.velocities[i]);
-    potential -=
-        0.5 * config_.grav_const * bodies_.masses[i] * potential_[i];
-  }
-  return kinetic + potential;
-}
+    : engine_(config,
+              GravityProblem(config.fmm, config.grav_const, config.softening,
+                             std::move(node), ParticleSet{}),
+              ckpt) {}
 
 }  // namespace afmm

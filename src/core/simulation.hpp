@@ -12,93 +12,22 @@
 // Per-step records carry everything Figs. 8/9 and Table II report: compute
 // time, load-balancing time, the S in force, and the balancer state.
 //
-// Resilience (state/): when config.resilience is enabled the loop wraps each
-// step with a watchdog, audits the live state every few steps, snapshots
-// audited state on the checkpoint cadence, and reacts to a failed audit or a
-// tripped watchdog by rolling back to the last good checkpoint, rebuilding
-// the tree and re-entering Search. All of it is read-only on healthy steps,
-// so enabling resilience never perturbs a healthy trajectory.
+// GravitySimulation is a thin facade over SimulationEngine<GravityProblem>
+// (core/engine.hpp): the step loop, resilience wrapper (watchdog / audit /
+// checkpoint-rollback) and observability emission are the problem-generic
+// engine's; only the leapfrog physics is gravity's own (core/problems.hpp).
 #pragma once
 
-#include <memory>
-#include <optional>
 #include <vector>
 
-#include "balance/load_balancer.hpp"
-#include "core/fmm_solver.hpp"
-#include "dist/distributions.hpp"
-#include "faults/fault_injector.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "state/checkpoint.hpp"
+#include "core/engine.hpp"
+#include "core/problems.hpp"
 
 namespace afmm {
 
-// Observability policy (obs/): step tracing and metric sampling. Both sinks
-// are strictly read-only over the simulation, so enabling them leaves the
-// trajectory bit-identical to an observability-off run; when both are off no
-// recorder is even allocated (null-sink, zero overhead).
-struct ObsConfig {
-  bool trace = false;    // record Chrome-trace events (virtual-time tracks)
-  bool metrics = false;  // sample the metrics registry once per step
-  // Mirror REAL per-operation wall times (requires fmm.collect_real_timings)
-  // onto the wall-time trace process. Off by default because wall clocks are
-  // nondeterministic and would break byte-identical trace comparisons.
-  bool wall_ops = false;
-  bool enabled() const { return trace || metrics; }
-};
-
-struct SimulationConfig {
-  FmmConfig fmm;
-  TreeConfig tree;               // leaf_capacity is overridden by the balancer
-  LoadBalancerConfig balancer;
-  double dt = 1e-3;
+struct SimulationConfig : EngineConfig {
   double grav_const = 1.0;
   double softening = 1e-3;
-  // Deterministic fault schedule replayed against the node's health registry
-  // (empty by default: a perfectly healthy run).
-  FaultSchedule faults;
-  std::uint64_t fault_seed = 0x5eed;
-  // Checkpoint / audit / watchdog policy (everything off by default).
-  ResilienceConfig resilience;
-  // Step tracing + metrics sampling (everything off by default).
-  ObsConfig obs;
-};
-
-struct StepRecord {
-  int step = 0;
-  double compute_seconds = 0.0;  // max(CPU, GPU), the paper's Compute Time
-  double cpu_seconds = 0.0;
-  double gpu_seconds = 0.0;
-  double lb_seconds = 0.0;       // balancing + maintenance cost this step
-  double total_seconds() const { return compute_seconds + lb_seconds; }
-  int S = 0;
-  LbState state = LbState::kSearch;
-  bool rebuilt = false;
-  int enforce_ops = 0;
-  int fgo_ops = 0;
-  SolveStats stats;
-  // Fault / degradation bookkeeping (chaos benches and recovery plots).
-  int faults_fired = 0;          // injector events applied before this solve
-  int alive_gpus = 0;
-  double gpu_capability = 0.0;   // sum of per-GPU health scales
-  int effective_cores = 0;
-  bool capability_shift = false; // balancer reset + re-entered Search
-  bool cpu_fallback = false;     // near field ran on the CPU (no GPUs alive)
-  int transfer_retries = 0;
-  // Cost-model predictions for THIS step's operation counts, made from the
-  // coefficients as they stood before this step's times were observed (the
-  // same quantities the capability-shift detector judges). Zero until the
-  // model has observations.
-  double predicted_far_seconds = 0.0;
-  double predicted_near_seconds = 0.0;
-  // Resilience bookkeeping (all false/-1 when resilience is disabled).
-  bool audited = false;          // invariant audit ran after this step
-  bool audit_failed = false;     // ... and found violations
-  bool watchdog_tripped = false; // step exceeded a watchdog budget
-  bool rolled_back = false;      // recovered from the last good checkpoint
-  int restored_step = -1;        // step the rollback restored to
-  bool checkpointed = false;     // a snapshot was taken after this step
 };
 
 class GravitySimulation {
@@ -115,98 +44,63 @@ class GravitySimulation {
   // Advance one time step; returns its record. With resilience enabled the
   // step is watchdog-guarded, audited on the configured cadence, and
   // checkpointed / rolled back as needed.
-  StepRecord step();
+  StepRecord step() { return engine_.step(); }
 
   // Run `n` steps, collecting records.
-  std::vector<StepRecord> run(int n);
+  std::vector<StepRecord> run(int n) { return engine_.run(n); }
 
-  const ParticleSet& bodies() const { return bodies_; }
-  const AdaptiveOctree& tree() const { return tree_; }
-  const LoadBalancer& balancer() const { return balancer_; }
-  const FaultInjector& fault_injector() const { return injector_; }
+  const ParticleSet& bodies() const { return engine_.problem().bodies(); }
+  const AdaptiveOctree& tree() const { return engine_.tree(); }
+  const LoadBalancer& balancer() const { return engine_.balancer(); }
+  const FaultInjector& fault_injector() const {
+    return engine_.fault_injector();
+  }
   // Mutable machine health, for tests and benches that poke faults directly.
-  NodeSimulator& node() { return solver_.node(); }
-  int steps_taken() const { return step_count_; }
+  NodeSimulator& node() { return engine_.node(); }
+  int steps_taken() const { return engine_.steps_taken(); }
 
   // The interaction-list cache shared by the solver and the balancer: one
   // traversal per structure change, zero when the structure is stable.
-  const InteractionListCache& list_cache() const { return list_cache_; }
+  const InteractionListCache& list_cache() const {
+    return engine_.list_cache();
+  }
 
   // Observability sinks (null when the corresponding ObsConfig flag is off).
-  TraceRecorder* trace() { return trace_.get(); }
-  const TraceRecorder* trace() const { return trace_.get(); }
-  MetricsRegistry* metrics() { return metrics_.get(); }
-  const MetricsRegistry* metrics() const { return metrics_.get(); }
+  TraceRecorder* trace() { return engine_.trace(); }
+  const TraceRecorder* trace() const { return engine_.trace(); }
+  MetricsRegistry* metrics() { return engine_.metrics(); }
+  const MetricsRegistry* metrics() const { return engine_.metrics(); }
   // Accumulated virtual (simulated) seconds of all steps taken; advances
   // only while observability is enabled (it exists for the trace timeline).
-  double virtual_now() const { return virtual_now_; }
+  double virtual_now() const { return engine_.virtual_now(); }
 
   // Total energy (kinetic + potential) from the last solve; a diagnostic
   // for the integrator tests. Uses the softened potential.
-  double total_energy() const;
+  double total_energy() const { return engine_.problem().total_energy(); }
 
   // --- checkpoint / restore / recovery -------------------------------------
 
   // Complete snapshot of the current state (see state/checkpoint.hpp).
-  SimCheckpoint checkpoint() const;
+  SimCheckpoint checkpoint() const { return engine_.checkpoint(); }
   // Adopt a snapshot wholesale (same config/node as the run that took it).
-  void restore(const SimCheckpoint& ckpt);
+  void restore(const SimCheckpoint& ckpt) { engine_.restore(ckpt); }
 
   // The full invariant audit the resilience loop runs (also callable
   // directly, e.g. by tests and benches).
-  AuditReport run_audit() const;
+  AuditReport run_audit() const { return engine_.run_audit(); }
 
   // Rollbacks performed so far, and the on-disk store when one is configured.
-  int rollbacks() const { return rollbacks_; }
-  const CheckpointStore* store() const { return store_ ? &*store_ : nullptr; }
+  int rollbacks() const { return engine_.rollbacks(); }
+  const CheckpointStore* store() const { return engine_.store(); }
 
   // Chaos hooks: silent state corruption for auditor/recovery tests.
-  void corrupt_force_for_test(std::size_t i);
-  void corrupt_tree_for_test();
+  void corrupt_force_for_test(std::size_t i) {
+    engine_.problem().corrupt_force_for_test(i);
+  }
+  void corrupt_tree_for_test() { engine_.corrupt_tree_for_test(); }
 
  private:
-  void initial_solve();
-  void init_resilience();
-  void init_obs();
-  StepRecord step_core();
-  void roll_back(StepRecord& rec);
-  // Emits the pending step observation (trace events + metric rows) and
-  // advances the virtual clock; no-op when observability is off.
-  void finish_step_obs(const StepRecord& rec);
-
-  SimulationConfig config_;
-  InteractionListCache list_cache_;
-  GravitySolver solver_;
-  LoadBalancer balancer_;
-  FaultInjector injector_;
-  ParticleSet bodies_;
-  AdaptiveOctree tree_;
-  std::vector<Vec3> accel_;
-  std::vector<double> potential_;
-  std::optional<ObservedStepTimes> last_observed_;
-  int step_count_ = 0;
-
-  // Resilience state (inert while config_.resilience is disabled).
-  StepWatchdog watchdog_;
-  std::optional<CheckpointStore> store_;
-  std::optional<SimCheckpoint> last_good_;
-  int rollbacks_ = 0;
-
-  // Observability state (null / unused while config_.obs is disabled). The
-  // pending struct carries what step_core saw, so emission can run at the
-  // very end of step() with the resilience flags already folded into the
-  // record.
-  struct PendingObs {
-    ObservedStepTimes times;
-    GpuRunResult gpu;
-    std::vector<FaultEvent> faults;
-    std::shared_ptr<OpTimers> wall;
-    double rebin_seconds = 0.0;
-  };
-  std::unique_ptr<TraceRecorder> trace_;
-  std::unique_ptr<MetricsRegistry> metrics_;
-  std::optional<PendingObs> pending_obs_;
-  double virtual_now_ = 0.0;
+  GravityEngine engine_;
 };
 
 }  // namespace afmm

@@ -1,139 +1,25 @@
 #include "core/stokes_simulation.hpp"
 
-#include <cmath>
-#include <stdexcept>
+#include <utility>
 
 namespace afmm {
-
-ForceModel constant_force(const Vec3& f) {
-  return [f](std::span<const Vec3> positions, std::span<Vec3> forces) {
-    (void)positions;
-    for (auto& out : forces) out = f;
-  };
-}
 
 StokesSimulation::StokesSimulation(const StokesSimulationConfig& config,
                                    NodeSimulator node,
                                    std::vector<Vec3> positions,
                                    ForceModel force_model)
-    : config_(config),
-      solver_(config.fmm, std::move(node), config.epsilon),
-      balancer_(config.balancer, config.fmm.traversal),
-      injector_(config.faults, config.fault_seed),
-      force_model_(std::move(force_model)),
-      positions_(std::move(positions)),
-      velocities_(positions_.size()),
-      forces_(positions_.size()) {
-  solver_.set_list_cache(&list_cache_);
-  balancer_.set_list_cache(&list_cache_);
-  TreeConfig tc = config_.tree;
-  tc.leaf_capacity = config_.balancer.initial_S;
-  tree_.build(positions_, tc);
-}
+    : engine_(config,
+              StokesProblem(config.fmm, config.epsilon, config.viscosity,
+                            std::move(node), std::move(positions),
+                            std::move(force_model))) {}
 
 StokesSimulation::StokesSimulation(const StokesSimulationConfig& config,
                                    NodeSimulator node,
                                    const SimCheckpoint& ckpt,
                                    ForceModel force_model)
-    : config_(config),
-      solver_(config.fmm, std::move(node), config.epsilon),
-      balancer_(config.balancer, config.fmm.traversal),
-      injector_(config.faults, config.fault_seed),
-      force_model_(std::move(force_model)) {
-  solver_.set_list_cache(&list_cache_);
-  balancer_.set_list_cache(&list_cache_);
-  restore(ckpt);
-}
-
-SimCheckpoint StokesSimulation::checkpoint() const {
-  SimCheckpoint c;
-  c.kind = SimKind::kStokes;
-  c.step = step_count_;
-  c.bodies.positions = positions_;
-  c.bodies.velocities = velocities_;  // masses stay empty: Stokeslets
-  c.has_observed = last_observed_.has_value();
-  if (last_observed_) c.observed = *last_observed_;
-  c.tree = tree_.snapshot();
-  c.balancer = balancer_.snapshot();
-  c.health = solver_.node().health();
-  c.injector = injector_.snapshot();
-  return c;
-}
-
-void StokesSimulation::restore(const SimCheckpoint& ckpt) {
-  if (ckpt.kind != SimKind::kStokes)
-    throw std::invalid_argument("checkpoint is not a Stokes simulation");
-  step_count_ = ckpt.step;
-  positions_ = ckpt.bodies.positions;
-  velocities_ = ckpt.bodies.velocities;
-  velocities_.resize(positions_.size());
-  forces_.resize(positions_.size());
-  if (ckpt.has_observed)
-    last_observed_ = ckpt.observed;
-  else
-    last_observed_.reset();
-  tree_.restore(ckpt.tree);
-  balancer_.restore(ckpt.balancer);
-  solver_.node().health() = ckpt.health;
-  injector_.restore(ckpt.injector);
-}
-
-StepRecord StokesSimulation::step() {
-  StepRecord rec;
-  rec.step = step_count_;
-
-  if (last_observed_) {
-    // Maintenance + balancing exactly as in the gravitational loop.
-    tree_.rebin(positions_);
-    rec.lb_seconds += solver_.node().rebin_seconds(positions_.size());
-    const auto lb = balancer_.post_step(tree_, positions_, *last_observed_,
-                                        solver_.node());
-    rec.lb_seconds += lb.lb_seconds;
-    rec.S = lb.S;
-    rec.state = lb.state_after;
-    rec.rebuilt = lb.rebuilt;
-    rec.enforce_ops = lb.enforce_ops;
-    rec.fgo_ops = lb.fgo_ops;
-    rec.capability_shift = lb.capability_shift;
-  } else {
-    rec.S = balancer_.current_S();
-  }
-
-  // Faults fire after balancing, before the solve (same order as the
-  // gravitational loop): the solve sees the degraded machine and the
-  // balancer reacts to the observed times next step.
-  MachineHealth& health = solver_.node().health();
-  rec.faults_fired =
-      static_cast<int>(injector_.advance_to(step_count_, health).size());
-  rec.alive_gpus = health.num_alive_gpus();
-  rec.gpu_capability = health.total_gpu_capability();
-  rec.effective_cores = solver_.node().effective_cores();
-
-  force_model_(positions_, forces_);
-  auto res = solver_.solve(tree_, positions_, forces_);
-
-  const double mobility = 1.0 / (8.0 * M_PI * config_.viscosity);
-  for (std::size_t i = 0; i < positions_.size(); ++i) {
-    velocities_[i] = mobility * res.velocity[i];
-    positions_[i] += config_.dt * velocities_[i];
-  }
-
-  last_observed_ = res.times;
-  rec.compute_seconds = res.times.compute_seconds();
-  rec.cpu_seconds = res.times.cpu_seconds;
-  rec.gpu_seconds = res.times.gpu_seconds;
-  rec.stats = res.stats;
-  rec.cpu_fallback = res.gpu.cpu_fallback;
-  rec.transfer_retries = res.times.transfer_retries;
-  ++step_count_;
-  return rec;
-}
-
-std::vector<StepRecord> StokesSimulation::run(int n) {
-  std::vector<StepRecord> out;
-  out.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) out.push_back(step());
-  return out;
-}
+    : engine_(config,
+              StokesProblem(config.fmm, config.epsilon, config.viscosity,
+                            std::move(node), {}, std::move(force_model)),
+              ckpt) {}
 
 }  // namespace afmm

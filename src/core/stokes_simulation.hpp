@@ -6,40 +6,26 @@
 //     x_i' = u_i (+ optional background settling velocity)
 //
 // Forces come from a user-supplied ForceModel evaluated at the current
-// configuration (gravity-driven sedimentation, elastic fibers, ...). The
-// per-step tree-maintenance / load-balancing loop is identical to the
-// gravitational simulation, so the fluid problem exercises the balancer on
-// the ~4x-heavier M2L mix the paper highlights.
+// configuration (gravity-driven sedimentation, elastic fibers, ...).
+//
+// StokesSimulation is a thin facade over SimulationEngine<StokesProblem>
+// (core/engine.hpp), so the fluid problem gets the IDENTICAL per-step
+// balancing loop, resilience wrapper (watchdog / audit / checkpoint-
+// rollback) and observability stack as the gravitational simulation --
+// while exercising the ~4x-heavier M2L mix the paper highlights.
 #pragma once
 
-#include <functional>
-#include <optional>
 #include <vector>
 
-#include "balance/load_balancer.hpp"
-#include "core/fmm_solver.hpp"
-#include "core/simulation.hpp"  // StepRecord
+#include "core/engine.hpp"
+#include "core/problems.hpp"
 
 namespace afmm {
 
-struct StokesSimulationConfig {
-  FmmConfig fmm;
-  TreeConfig tree;
-  LoadBalancerConfig balancer;
-  double dt = 1e-3;
+struct StokesSimulationConfig : EngineConfig {
   double epsilon = 1e-3;    // regularization blob size
   double viscosity = 1.0;   // mu in the 1/(8 pi mu) mobility prefactor
-  // Deterministic fault schedule, replayed exactly as in GravitySimulation.
-  FaultSchedule faults;
-  std::uint64_t fault_seed = 0x5eed;
 };
-
-// Writes the per-body forces for the current positions into `forces`.
-using ForceModel =
-    std::function<void(std::span<const Vec3> positions, std::span<Vec3> forces)>;
-
-// Constant body force (e.g. gravity on a sedimenting suspension).
-ForceModel constant_force(const Vec3& f);
 
 class StokesSimulation {
  public:
@@ -52,34 +38,47 @@ class StokesSimulation {
   StokesSimulation(const StokesSimulationConfig& config, NodeSimulator node,
                    const SimCheckpoint& ckpt, ForceModel force_model);
 
-  StepRecord step();
-  std::vector<StepRecord> run(int n);
+  StepRecord step() { return engine_.step(); }
+  std::vector<StepRecord> run(int n) { return engine_.run(n); }
 
-  const std::vector<Vec3>& positions() const { return positions_; }
-  const std::vector<Vec3>& velocities() const { return velocities_; }
-  const AdaptiveOctree& tree() const { return tree_; }
-  const LoadBalancer& balancer() const { return balancer_; }
-  const InteractionListCache& list_cache() const { return list_cache_; }
-  const FaultInjector& fault_injector() const { return injector_; }
-  NodeSimulator& node() { return solver_.node(); }
-  int steps_taken() const { return step_count_; }
+  const std::vector<Vec3>& positions() const {
+    return engine_.problem().position_vector();
+  }
+  const std::vector<Vec3>& velocities() const {
+    return engine_.problem().velocities();
+  }
+  const AdaptiveOctree& tree() const { return engine_.tree(); }
+  const LoadBalancer& balancer() const { return engine_.balancer(); }
+  const InteractionListCache& list_cache() const {
+    return engine_.list_cache();
+  }
+  const FaultInjector& fault_injector() const {
+    return engine_.fault_injector();
+  }
+  NodeSimulator& node() { return engine_.node(); }
+  int steps_taken() const { return engine_.steps_taken(); }
 
-  SimCheckpoint checkpoint() const;
-  void restore(const SimCheckpoint& ckpt);
+  // Observability sinks (null when the corresponding ObsConfig flag is off);
+  // same contract as GravitySimulation.
+  TraceRecorder* trace() { return engine_.trace(); }
+  const TraceRecorder* trace() const { return engine_.trace(); }
+  MetricsRegistry* metrics() { return engine_.metrics(); }
+  const MetricsRegistry* metrics() const { return engine_.metrics(); }
+  double virtual_now() const { return engine_.virtual_now(); }
+
+  SimCheckpoint checkpoint() const { return engine_.checkpoint(); }
+  void restore(const SimCheckpoint& ckpt) { engine_.restore(ckpt); }
+
+  // Resilience surface (engine-provided, identical to the gravity facade).
+  AuditReport run_audit() const { return engine_.run_audit(); }
+  int rollbacks() const { return engine_.rollbacks(); }
+  const CheckpointStore* store() const { return engine_.store(); }
+
+  // Chaos hook: silent tree corruption for auditor/recovery tests.
+  void corrupt_tree_for_test() { engine_.corrupt_tree_for_test(); }
 
  private:
-  StokesSimulationConfig config_;
-  InteractionListCache list_cache_;
-  StokesletSolver solver_;
-  LoadBalancer balancer_;
-  FaultInjector injector_;
-  ForceModel force_model_;
-  std::vector<Vec3> positions_;
-  std::vector<Vec3> velocities_;
-  std::vector<Vec3> forces_;
-  AdaptiveOctree tree_;
-  std::optional<ObservedStepTimes> last_observed_;
-  int step_count_ = 0;
+  StokesEngine engine_;
 };
 
 }  // namespace afmm

@@ -31,6 +31,12 @@ class ExpansionContext {
  public:
   explicit ExpansionContext(int order);
 
+  // Not address-stable: derivs_ references set_q_, so a moved/copied context
+  // would evaluate through a dangling reference. Holders that must move own
+  // the context behind a pointer (see core/problems.hpp).
+  ExpansionContext(const ExpansionContext&) = delete;
+  ExpansionContext& operator=(const ExpansionContext&) = delete;
+
   int order() const { return p_; }
   // Number of coefficients per expansion (multipole and local alike).
   int ncoef() const { return set_p_.size(); }

@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/simulation.hpp"
+#include "core/engine.hpp"
 #include "gpusim/p2p_executor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
 
 #include "core/simulation.hpp"
 #include "util/rng.hpp"
@@ -43,7 +44,7 @@ TEST(Simulation, BinaryOrbitConservesEnergyAndRadius) {
   GravitySimulation sim(cfg, default_node(), circular_binary());
   const double e0 = sim.total_energy();
   // Orbit period T = 2 pi d^(3/2) / sqrt(G M) = 2 pi; integrate one period.
-  const int steps = static_cast<int>(2 * M_PI / cfg.dt);
+  const int steps = static_cast<int>(2 * std::numbers::pi_v<double> / cfg.dt);
   sim.run(steps);
   const double e1 = sim.total_energy();
   EXPECT_NEAR(e1, e0, 1e-4 * std::abs(e0));

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
 
 #include "core/stokes_simulation.hpp"
 #include "dist/distributions.hpp"
@@ -64,7 +65,8 @@ TEST(StokesSimulation, CollectiveSettlingFasterThanSingleParticle) {
   vz /= static_cast<double>(sim.velocities().size());
 
   // Isolated regularized particle: u = 2/(8 pi mu eps).
-  const double single = 2.0 / (8.0 * M_PI * cfg.viscosity * cfg.epsilon);
+  const double single =
+      2.0 / (8.0 * std::numbers::pi_v<double> * cfg.viscosity * cfg.epsilon);
   EXPECT_LT(vz, -single);  // faster (more negative) than alone
 }
 

@@ -12,10 +12,17 @@ Checks, in order:
   5. the expected event categories are present (--require, default the full
      set trace_demo exercises).
 
+With --metrics CSV the long-form per-step metrics export is validated too:
+exact "step,metric,value" header, well-typed rows (non-negative integer
+step, non-empty metric name, finite value), non-decreasing step numbers,
+no duplicate (step, metric) pairs, and an identical metric set on every
+step -- a truncated or interleaved export fails.
+
 Exit 0 on success; nonzero with a message on the first violation. Stdlib
 only, so it runs anywhere CI has a python3.
 
-Usage: tools/validate_trace.py results/trace_demo.json [--require step,fault]
+Usage: tools/validate_trace.py results/trace_demo.json \
+           [--require step,fault] [--metrics results/trace_demo_metrics.csv]
 """
 
 import argparse
@@ -32,6 +39,69 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def check_metrics(path: str, min_steps: int) -> None:
+    """Validate a MetricsRegistry CSV export (obs/metrics.hpp)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot load {path}: {e}")
+
+    if not lines or lines[0] != "step,metric,value":
+        got = lines[0] if lines else "<empty file>"
+        fail(f"{path}: bad header {got!r} (want 'step,metric,value')")
+    if len(lines) < 2:
+        fail(f"{path}: no metric rows")
+
+    per_step = {}   # step -> set of metric names
+    prev_step = -1
+    for lineno, line in enumerate(lines[1:], start=2):
+        parts = line.split(",")
+        if len(parts) != 3:
+            fail(f"{path}:{lineno}: expected 3 fields, got {len(parts)}")
+        raw_step, metric, raw_value = parts
+        try:
+            step = int(raw_step)
+        except ValueError:
+            fail(f"{path}:{lineno}: non-integer step {raw_step!r}")
+        if step < 0:
+            fail(f"{path}:{lineno}: negative step {step}")
+        if step < prev_step:
+            fail(f"{path}:{lineno}: step {step} after step {prev_step} "
+                 "(rows must be grouped by non-decreasing step)")
+        prev_step = step
+        if not metric:
+            fail(f"{path}:{lineno}: empty metric name")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            fail(f"{path}:{lineno}: non-numeric value {raw_value!r}")
+        if not math.isfinite(value):
+            fail(f"{path}:{lineno}: non-finite value {raw_value!r}")
+        names = per_step.setdefault(step, set())
+        if metric in names:
+            fail(f"{path}:{lineno}: duplicate metric {metric!r} "
+                 f"for step {step}")
+        names.add(metric)
+
+    # Every step samples the same metric set: a partial step means the
+    # export was truncated or the emitter skipped a sink.
+    steps = sorted(per_step)
+    reference = per_step[steps[0]]
+    for step in steps[1:]:
+        diff = per_step[step] ^ reference
+        if diff:
+            fail(f"{path}: step {step} metric set differs from step "
+                 f"{steps[0]}'s on: {', '.join(sorted(diff))}")
+
+    if len(steps) < min_steps:
+        fail(f"{path}: only {len(steps)} steps sampled "
+             f"(--min-metric-steps {min_steps})")
+
+    print(f"validate_trace: OK: {len(lines) - 1} metric rows over "
+          f"{len(steps)} steps, {len(reference)} metrics per step")
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("trace", help="path to the trace JSON")
@@ -40,6 +110,21 @@ def main() -> None:
         default=DEFAULT_REQUIRED,
         help="comma-separated categories that must appear "
         f"(default: {DEFAULT_REQUIRED}; pass '' to skip)",
+    )
+    ap.add_argument(
+        "--metrics",
+        default=None,
+        metavar="CSV",
+        help="also validate this per-step metrics CSV "
+        "(step,metric,value long form)",
+    )
+    ap.add_argument(
+        "--min-metric-steps",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fail unless the metrics CSV covers at least N steps "
+        "(catches truncated exports; default 1)",
     )
     args = ap.parse_args()
 
@@ -106,6 +191,9 @@ def main() -> None:
     cats = ", ".join(f"{k}={v}" for k, v in sorted(categories.items()))
     print(f"validate_trace: OK: {n} events on {len(used_tracks)} tracks "
           f"({cats})")
+
+    if args.metrics is not None:
+        check_metrics(args.metrics, args.min_metric_steps)
 
 
 if __name__ == "__main__":
