@@ -1,0 +1,109 @@
+// Ablation: pointer-recursive vs Morton-linearized octree build.
+//
+// Every Search-state step and every watchdog rollback pays a full rebuild,
+// so build() throughput is the single largest non-physics cost in the step
+// loop. The Morton path replaces the per-level partition cascade (O(N *
+// depth) data movement) with one radix sort plus key-arithmetic span
+// derivation (O(N)); this bench measures REAL wall time for both strategies
+// across N, body distribution and serial/parallel, and cross-checks that
+// the two trees agree node-for-node before trusting any number.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "util/rng.hpp"
+
+using namespace afmm;
+using namespace afmm::bench;
+
+namespace {
+
+double best_build_seconds(AdaptiveOctree& tree,
+                          const std::vector<Vec3>& positions,
+                          const TreeConfig& tc, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    tree.build(positions, tc);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long max_n = arg_or(argc, argv, "max_n", 400000);
+  const long s = arg_or(argc, argv, "s", 64);
+  const long reps = arg_or(argc, argv, "reps", 5);
+  const std::string out = out_dir(argc, argv);
+  validate_args(argc, argv);
+
+  std::printf("Tree-build ablation: pointer vs morton, S=%ld, best of %ld.\n",
+              s, reps);
+
+  Table table({"dist", "n", "parallel", "pointer_s", "morton_s", "speedup",
+               "nodes"});
+  table.mirror_csv(out + "/ablation_tree_build.csv");
+
+  std::vector<long> sizes;
+  for (long n = 12500; n <= max_n; n *= 2) sizes.push_back(n);
+
+  for (const char* dist : {"uniform", "plummer"}) {
+    for (long n : sizes) {
+      Rng rng(2013 + n);
+      std::vector<Vec3> positions;
+      TreeConfig tc;
+      tc.leaf_capacity = static_cast<int>(s);
+      if (std::string(dist) == "uniform") {
+        auto set = uniform_cube(static_cast<std::size_t>(n), rng,
+                                {0.5, 0.5, 0.5}, 0.5);
+        positions = std::move(set.positions);
+        tc.root_center = {0.5, 0.5, 0.5};
+        tc.root_half = 0.5;
+      } else {
+        PlummerOptions opt;
+        opt.scale_radius = 1.0;
+        opt.max_radius = 10.0;
+        auto set = plummer(static_cast<std::size_t>(n), rng, opt);
+        positions = std::move(set.positions);
+        tc.root_center = {0, 0, 0};
+        tc.root_half = 10.0;
+      }
+
+      for (bool parallel : {false, true}) {
+        tc.parallel_build = parallel;
+        AdaptiveOctree pointer, morton;
+        tc.build_strategy = BuildStrategy::kPointer;
+        const double tp =
+            best_build_seconds(pointer, positions, tc, static_cast<int>(reps));
+        tc.build_strategy = BuildStrategy::kMorton;
+        const double tm =
+            best_build_seconds(morton, positions, tc, static_cast<int>(reps));
+
+        // Equivalence gate: a fast build of the wrong tree is worthless.
+        if (pointer.num_nodes() != morton.num_nodes()) {
+          std::fprintf(stderr, "builder mismatch at %s n=%ld\n", dist, n);
+          return 1;
+        }
+        for (int i = 0; i < pointer.num_nodes(); ++i) {
+          const auto& a = pointer.node(i);
+          const auto& b = morton.node(i);
+          if (a.begin != b.begin || a.count != b.count ||
+              !(a.center == b.center)) {
+            std::fprintf(stderr, "node %d mismatch at %s n=%ld\n", i, dist, n);
+            return 1;
+          }
+        }
+
+        table.add_row({dist, Table::integer(n), Table::integer(parallel),
+                       Table::num(tp), Table::num(tm), Table::num(tp / tm),
+                       Table::integer(pointer.num_nodes())});
+      }
+    }
+  }
+  table.print("Ablation | octree build strategy (wall seconds)");
+  return 0;
+}

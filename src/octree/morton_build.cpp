@@ -1,0 +1,565 @@
+// Morton-linearized build path for AdaptiveOctree (TreeConfig::build_strategy
+// == kMorton): one descent-key pass, then a level-synchronous MSD radix
+// bucketing of (key, permutation) pairs that terminates early the moment a
+// cell fits in a leaf -- an early-exit radix sort whose bucket boundaries ARE
+// the tree's node spans. Compared to the recursive pointer build, each level
+// moves 12 bytes per active body (key + perm index) instead of 28 (position
+// + perm index) plus a copy-back, extracts a 3-bit digit instead of making
+// three double comparisons, and partitions every frontier cell data-parallel
+// (the pointer build's top-level partitions are serial). Tree-ordered
+// positions are gathered once at the end instead of being dragged through
+// every level.
+//
+// The key pass is the blocked, branchless version of morton.hpp's bisection
+// descent: bodies go through in blocks of 16 with the level loop outermost,
+// so the 16 x 3 independent compare/update chains pipeline instead of
+// serializing, and the +-q center nudge is a sign-bit XOR rather than a
+// data-dependent branch (random octant decisions mispredict ~50% of the
+// time, which is what made the naive per-body descent dominate the build).
+// Keys are truncated: the initial pass descends only as deep as a small
+// sorted sample says the bulk of the bodies settles (sample_key_depth); when
+// a cell still splits at that depth, keys for the bodies inside it -- and
+// only those -- are extended a few more levels by re-descending FROM THAT
+// CELL'S OWN CENTER (the same halving sequence a root descent would reach it
+// with, so the digits are exact) and the bucketing resumes. Truncated digits
+// below the deepest split are never read.
+//
+// Bit-identity with the pointer build rests on three pillars:
+//
+//   1. Keys come from morton.hpp's bisection DESCENT, not floor division:
+//      digit k of a body's key is exactly the octant_of() decision the
+//      pointer build would make at depth k (same `>= center` comparison,
+//      same repeated-halving center arithmetic), so bodies on splitting
+//      planes, outside the root cube, or with non-finite coordinates bucket
+//      identically.
+//   2. Bucketing splits a cell iff `count > S && level < max_depth` -- the
+//      pointer build's criterion -- and every scatter is stable (per-chunk
+//      histograms merge bucket-major, chunk-minor), so spans and the
+//      permutation match element for element; a span that stops splitting
+//      is never touched again, leaving it in ascending original order just
+//      like the pointer build's stable partitions do.
+//   3. Emission replays the pointer build's preorder splice (parent, then
+//      each child subtree in octant order) with geometry from the shared
+//      child_box_center() expression, yielding the same node ids, parent /
+//      child links, levels, centers and halves bit for bit.
+#include <omp.h>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "octree/octree.hpp"
+
+namespace afmm {
+
+namespace {
+
+// One node of the intermediate span tree. `first_child` indexes the first of
+// eight consecutive children in the cell array, -1 for leaves. `hist` holds
+// the counts of this cell's own-level key digit when hist_valid is set --
+// accumulated for free while the PARENT scattered its span, so partitioning
+// this cell skips the counting pass entirely and goes straight to the
+// scatter.
+struct BuildCell {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::int32_t first_child = -1;
+  bool hist_valid = false;
+  std::array<std::uint32_t, 8> hist{};
+};
+
+// Above this population a cell's partition fans out over threads itself;
+// below it, parallelism across frontier cells is enough.
+constexpr std::uint32_t kChunkedCutoff = 1u << 15;
+
+// Blocked, branchless bisection descent of `levels` rounds starting from the
+// box (center, half) at level end_level - levels, producing the key digits
+// for levels [end_level - levels, end_level). For tree-order slots
+// [begin, end) it reads positions[idx[t]] (idx == nullptr means identity)
+// and writes keys[t] with the digit of level l at bits 3*(20-l)..3*(20-l)+2
+// and zeros elsewhere -- digits outside the produced range are never read by
+// the bucketing. Per round each dimension makes the same `>= c` comparison
+// and repeated-halving center update as the pointer build's octant_of (the
+// sign-bit XOR selects +q / -q exactly; NaN compares false and descends low,
+// matching), so starting from a cell's own center at its level yields digits
+// bit-identical to a full descent from the root. Bodies go through in blocks
+// of 16 with the level loop outermost so the 16 x 3 independent
+// compare/update chains pipeline instead of serializing behind one chain's
+// latency; full blocks additionally run two lanes per instruction under SSE2
+// (cmpge gives false on NaN exactly like the scalar `>=`, and the center
+// nudge is the same sign-bit XOR on q, so the vector path is bit-identical
+// to the scalar one).
+void descend_keys_blocked(const Vec3* positions, const std::uint32_t* idx,
+                          std::uint32_t begin, std::uint32_t end,
+                          const Vec3& center, double half, int levels,
+                          int end_level, std::uint64_t* keys) {
+  constexpr int B = 16;
+  alignas(16) double px[B], py[B], pz[B];
+  double cx[B], cy[B], cz[B];
+  std::uint64_t k[B];
+  const int final_shift = 3 * (21 - end_level);
+  for (std::uint32_t base = begin; base < end; base += B) {
+    const int cnt = static_cast<int>(std::min<std::uint32_t>(B, end - base));
+    for (int j = 0; j < cnt; ++j) {
+      const Vec3& p = positions[idx ? idx[base + j] : base + j];
+      px[j] = p.x;
+      py[j] = p.y;
+      pz[j] = p.z;
+    }
+#if defined(__SSE2__)
+    if (cnt == B) {
+      const __m128d sign = _mm_set1_pd(-0.0);
+      __m128d vx[B / 2], vy[B / 2], vz[B / 2];
+      __m128d ax[B / 2], ay[B / 2], az[B / 2];
+      __m128i vk[B / 2];
+      for (int v = 0; v < B / 2; ++v) {
+        vx[v] = _mm_load_pd(px + 2 * v);
+        vy[v] = _mm_load_pd(py + 2 * v);
+        vz[v] = _mm_load_pd(pz + 2 * v);
+        ax[v] = _mm_set1_pd(center.x);
+        ay[v] = _mm_set1_pd(center.y);
+        az[v] = _mm_set1_pd(center.z);
+        vk[v] = _mm_setzero_si128();
+      }
+      double q = half * 0.5;
+      for (int l = 0; l < levels; ++l) {
+        const __m128d vq = _mm_set1_pd(q);
+        for (int v = 0; v < B / 2; ++v) {
+          const __m128d mx = _mm_cmpge_pd(vx[v], ax[v]);
+          const __m128d my = _mm_cmpge_pd(vy[v], ay[v]);
+          const __m128d mz = _mm_cmpge_pd(vz[v], az[v]);
+          ax[v] = _mm_add_pd(ax[v], _mm_xor_pd(vq, _mm_andnot_pd(mx, sign)));
+          ay[v] = _mm_add_pd(ay[v], _mm_xor_pd(vq, _mm_andnot_pd(my, sign)));
+          az[v] = _mm_add_pd(az[v], _mm_xor_pd(vq, _mm_andnot_pd(mz, sign)));
+          const __m128i dig = _mm_or_si128(
+              _mm_srli_epi64(_mm_castpd_si128(mx), 63),
+              _mm_or_si128(
+                  _mm_slli_epi64(_mm_srli_epi64(_mm_castpd_si128(my), 63), 1),
+                  _mm_slli_epi64(_mm_srli_epi64(_mm_castpd_si128(mz), 63),
+                                 2)));
+          vk[v] = _mm_or_si128(_mm_slli_epi64(vk[v], 3), dig);
+        }
+        q *= 0.5;
+      }
+      const __m128i fs = _mm_cvtsi32_si128(final_shift);
+      for (int v = 0; v < B / 2; ++v)
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(keys + base + 2 * v),
+                         _mm_sll_epi64(vk[v], fs));
+      continue;
+    }
+#endif
+    for (int j = 0; j < cnt; ++j) {
+      cx[j] = center.x;
+      cy[j] = center.y;
+      cz[j] = center.z;
+      k[j] = 0;
+    }
+    double q = half * 0.5;
+    for (int l = 0; l < levels; ++l) {
+      const std::uint64_t qbits = std::bit_cast<std::uint64_t>(q);
+      for (int j = 0; j < cnt; ++j) {
+        const std::uint64_t ux = px[j] >= cx[j] ? 1u : 0u;
+        const std::uint64_t uy = py[j] >= cy[j] ? 1u : 0u;
+        const std::uint64_t uz = pz[j] >= cz[j] ? 1u : 0u;
+        cx[j] += std::bit_cast<double>(qbits ^ ((1u - ux) << 63));
+        cy[j] += std::bit_cast<double>(qbits ^ ((1u - uy) << 63));
+        cz[j] += std::bit_cast<double>(qbits ^ ((1u - uz) << 63));
+        k[j] = (k[j] << 3) | ux | (uy << 1) | (uz << 2);
+      }
+      q *= 0.5;
+    }
+    for (int j = 0; j < cnt; ++j) keys[base + j] = k[j] << final_shift;
+  }
+}
+
+// Initial descent depth for inputs too small to sample: deep enough that a
+// box at that level holds ~S bodies under a uniform distribution, plus one
+// level of slack.
+int uniform_key_depth(std::uint32_t n, std::uint32_t s_cap, int max_depth) {
+  const std::uint64_t boxes_needed = n / std::max<std::uint32_t>(1, s_cap);
+  int d = 1;
+  while (d < 21 && (std::uint64_t{1} << (3 * d)) < boxes_needed) ++d;
+  return std::min(max_depth, std::min(21, d + 1));
+}
+
+// Initial descent depth from a deterministic stride sample: full-depth keys
+// for ~2k bodies, sorted once, then the smallest level where the estimated
+// fraction of bodies still inside splitting (> S) cells falls to a quarter,
+// plus one digit of slack. A cell holding g of M sampled bodies estimates
+// g * n / M real ones, but at these sampling rates even a cell at the leaf
+// capacity limit only shows ~S * M / n (often < 1) co-samples, so small
+// coincidental groups say nothing about splitting: a group only counts once
+// it exceeds that null rate by three standard deviations. Keying the bulk to
+// its true settle depth up front
+// matters because the on-demand deepening re-reads positions through the
+// permutation -- fine for a clustered tail, ruinous for 80% of the input.
+// The estimate only steers cost: any undershoot is corrected by the
+// deepening step, so the resulting tree is unaffected.
+int sample_key_depth(std::span<const Vec3> positions, const Vec3& center,
+                     double half, std::uint32_t s_cap, int max_depth) {
+  const auto n = static_cast<std::uint32_t>(positions.size());
+  if (n < 4096 || max_depth <= 1)
+    return uniform_key_depth(n, s_cap, max_depth);
+  const std::uint32_t m = std::min(2048u, n / 2);
+  const std::uint32_t stride = n / m;
+  std::vector<std::uint32_t> idx(m);
+  for (std::uint32_t j = 0; j < m; ++j) idx[j] = j * stride;
+  std::vector<std::uint64_t> sample_keys(m);
+  const int full = std::min(max_depth, 21);
+  descend_keys_blocked(positions.data(), idx.data(), 0, m, center, half, full,
+                       full, sample_keys.data());
+  std::sort(sample_keys.begin(), sample_keys.end());
+
+  // Expected co-samples inside a cell that is exactly at capacity; groups
+  // within 3 sigma of that are what full-but-not-splitting cells look like.
+  const double lam0 = static_cast<double>(s_cap) * m / n;
+  const std::uint32_t g_min = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(lam0 + 3.0 * std::sqrt(lam0) + 1.5));
+  for (int d = 1; d < full; ++d) {
+    const int shift = 3 * (21 - d);
+    std::uint32_t active = 0;
+    std::uint32_t run_start = 0;
+    for (std::uint32_t j = 1; j <= m; ++j) {
+      if (j == m ||
+          (sample_keys[j] >> shift) != (sample_keys[run_start] >> shift)) {
+        const std::uint32_t g = j - run_start;
+        if (g >= g_min) active += g;
+        run_start = j;
+      }
+    }
+    // One digit of slack for the residual tail -- except when the sample saw
+    // no splitting cell at all, where the tail is rare enough that the
+    // deepening step handles it cheaper than keying everyone a level deeper.
+    if (active * 4 <= m) return std::min(max_depth, active == 0 ? d : d + 1);
+  }
+  return full;
+}
+
+// Counting pass for a cell whose own-level histogram was not accumulated by
+// its parent's scatter (the root, children of chunk-partitioned cells, and
+// cells re-keyed by the deepening step).
+void count_digits(const std::uint64_t* keys, std::uint32_t begin,
+                  std::uint32_t end, int shift, std::uint32_t counts[8]) {
+  for (int d = 0; d < 8; ++d) counts[d] = 0;
+  for (std::uint32_t i = begin; i < end; ++i)
+    ++counts[(keys[i] >> shift) & 7u];
+}
+
+// Stable 8-way scatter of one cell's span by the digit at `shift`, reading
+// from the (src_keys, src_perm) side and writing the reordered span to the
+// (dst_keys, dst_perm) side at the precomputed child offsets. The level loop
+// ping-pongs the two sides each level, so a span is moved once per level
+// (12 bytes per body) with no copy-back. Spans of distinct cells are
+// disjoint, so concurrent calls never overlap.
+void scatter_span(const std::uint64_t* src_keys, const std::uint32_t* src_perm,
+                  std::uint64_t* dst_keys, std::uint32_t* dst_perm,
+                  std::uint32_t begin, std::uint32_t end, int shift,
+                  std::uint32_t offsets[8]) {
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const std::uint64_t k = src_keys[i];
+    const auto at = offsets[(k >> shift) & 7u]++;
+    dst_keys[at] = k;
+    dst_perm[at] = src_perm[i];
+  }
+}
+
+// scatter_span that additionally accumulates each child's NEXT-level digit
+// histogram (digit at shift - 3) into child0[0..7].hist while the key is in
+// a register -- the children then partition with no counting pass of their
+// own. Only valid when the next level's digits exist in the keys.
+void scatter_span_fused(const std::uint64_t* src_keys,
+                        const std::uint32_t* src_perm, std::uint64_t* dst_keys,
+                        std::uint32_t* dst_perm, std::uint32_t begin,
+                        std::uint32_t end, int shift, std::uint32_t offsets[8],
+                        BuildCell* child0) {
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const std::uint64_t k = src_keys[i];
+    const auto d = (k >> shift) & 7u;
+    const auto at = offsets[d]++;
+    dst_keys[at] = k;
+    dst_perm[at] = src_perm[i];
+    ++child0[d].hist[(k >> (shift - 3)) & 7u];
+  }
+}
+
+// Chunk-parallel variant for very large cells (the first few levels, where
+// the frontier is too small to occupy the team). Per-chunk histograms merge
+// bucket-major then chunk-minor, so the scatter is stable and the result is
+// bit-identical to the serial partition for any thread count.
+void partition_cell_chunked(const std::uint64_t* src_keys,
+                            const std::uint32_t* src_perm,
+                            std::uint64_t* dst_keys, std::uint32_t* dst_perm,
+                            std::uint32_t begin, std::uint32_t end, int shift,
+                            bool par, std::uint32_t bounds[9]) {
+  const int num_chunks = par ? std::max(1, omp_get_max_threads()) : 1;
+  if (num_chunks == 1) {
+    std::uint32_t counts[8], offsets[8];
+    count_digits(src_keys, begin, end, shift, counts);
+    std::uint32_t acc = begin;
+    for (int d = 0; d < 8; ++d) {
+      bounds[d] = acc;
+      offsets[d] = acc;
+      acc += counts[d];
+    }
+    bounds[8] = acc;
+    scatter_span(src_keys, src_perm, dst_keys, dst_perm, begin, end, shift,
+                 offsets);
+    return;
+  }
+  const std::uint32_t n = end - begin;
+  std::vector<std::uint32_t> chunk(static_cast<std::size_t>(num_chunks) + 1);
+  for (int t = 0; t <= num_chunks; ++t)
+    chunk[t] = begin + static_cast<std::uint32_t>(
+                           static_cast<std::uint64_t>(n) * t / num_chunks);
+  std::vector<std::array<std::uint32_t, 8>> hist(num_chunks);
+
+#pragma omp parallel for schedule(static)
+  for (int t = 0; t < num_chunks; ++t) {
+    auto& h = hist[t];
+    h.fill(0);
+    for (std::uint32_t i = chunk[t]; i < chunk[t + 1]; ++i)
+      ++h[(src_keys[i] >> shift) & 7u];
+  }
+
+  std::uint32_t acc = begin;
+  for (int d = 0; d < 8; ++d) {
+    bounds[d] = acc;
+    for (int t = 0; t < num_chunks; ++t) {
+      const std::uint32_t c = hist[t][d];
+      hist[t][d] = acc;
+      acc += c;
+    }
+  }
+  bounds[8] = acc;
+
+#pragma omp parallel for schedule(static)
+  for (int t = 0; t < num_chunks; ++t) {
+    auto& h = hist[t];
+    for (std::uint32_t i = chunk[t]; i < chunk[t + 1]; ++i) {
+      const auto at = h[(src_keys[i] >> shift) & 7u]++;
+      dst_keys[at] = src_keys[i];
+      dst_perm[at] = src_perm[i];
+    }
+  }
+}
+
+}  // namespace
+
+void AdaptiveOctree::build_morton_impl(std::span<const Vec3> positions) {
+  const auto n = static_cast<std::uint32_t>(positions.size());
+  const bool par = config_.parallel_build;
+  const auto s_cap = static_cast<std::uint32_t>(config_.leaf_capacity);
+  const int max_depth = config_.max_depth;
+
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), 0u);
+  morton_keys_.resize(n);
+  morton_key_scratch_.resize(n);
+  scratch_perm_.resize(n);
+  std::uint64_t* const keys = morton_keys_.data();
+
+  // --- 1. keys (truncated; deepened on demand) ------------------------------
+  int key_depth = sample_key_depth(positions, config_.root_center,
+                                   config_.root_half, s_cap, max_depth);
+  constexpr std::uint32_t kKeyChunk = 4096;
+#pragma omp parallel for if (par) schedule(static)
+  for (std::int64_t b = 0; b < static_cast<std::int64_t>(n);
+       b += static_cast<std::int64_t>(kKeyChunk)) {
+    const auto lo32 = static_cast<std::uint32_t>(b);
+    descend_keys_blocked(positions.data(), nullptr, lo32,
+                         std::min(n, lo32 + kKeyChunk), config_.root_center,
+                         config_.root_half, key_depth, key_depth, keys);
+  }
+
+  // --- 2. level-synchronous bucketing ---------------------------------------
+  // Frontier [lo, hi) of cells at `level`; each splitter claims eight
+  // consecutive child slots and scatters its span by the level's 3-bit key
+  // digit. Cells at or under capacity drop out immediately, so total data
+  // movement is proportional to the bodies still inside over-full boxes.
+  // Ping-pong sides: a frontier cell at level L holds its span in side
+  // L % 2 (side 0 = the member arrays, side 1 = the scratch arrays); its
+  // partition scatters straight into the other side. Terminal cells that end
+  // up on side 1 get their perm span copied back in the consolidation pass
+  // below -- their keys are never read again, so only perm moves.
+  std::uint64_t* const kbuf[2] = {keys, morton_key_scratch_.data()};
+  std::uint32_t* const pbuf[2] = {perm_.data(), scratch_perm_.data()};
+  std::vector<BuildCell> cells;
+  cells.push_back({0, n, -1});
+  // Cell centers (parallel to `cells`), filled as children are emitted via
+  // the shared child_box_center() expression; key-deepening re-descends a
+  // splitting cell's bodies from here instead of from the root.
+  std::vector<Vec3> cell_centers{config_.root_center};
+  double level_half = config_.root_half;  // box half-size at `level`
+  std::size_t lo = 0, hi = 1;
+  int level = 0;
+  // frontier_start[l] = index of the first cell at level l (frontiers are
+  // contiguous runs of the cell array); used to recover each terminal cell's
+  // side during consolidation.
+  std::vector<std::size_t> frontier_start{0};
+  std::vector<std::uint32_t> split_at;
+  while (level < max_depth) {
+    const std::size_t frontier = hi - lo;
+    split_at.assign(frontier + 1, 0);
+    for (std::size_t f = 0; f < frontier; ++f) {
+      const BuildCell& c = cells[lo + f];
+      split_at[f + 1] = split_at[f] + ((c.end - c.begin > s_cap) ? 1u : 0u);
+    }
+    const std::uint32_t nsplit = split_at[frontier];
+    if (nsplit == 0) break;
+
+    const int side = level & 1;
+    if (level >= key_depth) {
+      // A cell splits below the truncated key resolution: recompute keys a
+      // few levels deeper for the bodies still being partitioned (and only
+      // those -- settled spans never have their digits read again). Stepping
+      // rather than jumping to 21 keeps each re-descent proportional to how
+      // deep the distribution actually clusters.
+      const int deeper = std::min(21, key_depth + 4);
+#pragma omp parallel for if (par) schedule(dynamic, 8)
+      for (std::int64_t f = 0; f < static_cast<std::int64_t>(frontier); ++f) {
+        const BuildCell& c = cells[lo + f];
+        if (c.end - c.begin > s_cap)
+          descend_keys_blocked(positions.data(), pbuf[side], c.begin, c.end,
+                               cell_centers[lo + f], level_half,
+                               deeper - level, deeper, kbuf[side]);
+      }
+      key_depth = deeper;
+    }
+
+    const std::size_t base = cells.size();
+    cells.resize(base + 8u * nsplit);
+    cell_centers.resize(base + 8u * nsplit);
+    const int shift = 3 * (20 - level);
+
+    auto emit_children = [&](BuildCell& c, std::size_t f,
+                             const std::uint32_t bounds[9]) {
+      c.first_child = static_cast<std::int32_t>(base + 8u * split_at[f]);
+      for (int d = 0; d < 8; ++d) {
+        cells[c.first_child + d] = BuildCell{bounds[d], bounds[d + 1]};
+        cell_centers[c.first_child + d] =
+            child_box_center(cell_centers[lo + f], level_half, d);
+      }
+    };
+
+    // Digits for level + 1 exist in the keys and another level may follow:
+    // scatters below then prefuse each child's histogram.
+    const bool fuse_next = level + 1 < key_depth && level + 1 < max_depth;
+
+    // Very large cells first, each fanning its own partition over the team
+    // (early levels, where the frontier alone cannot feed every thread)...
+    const bool use_chunked = par && omp_get_max_threads() > 1;
+    if (use_chunked) {
+      for (std::size_t f = 0; f < frontier; ++f) {
+        BuildCell& c = cells[lo + f];
+        if (c.end - c.begin <= s_cap || c.end - c.begin < kChunkedCutoff)
+          continue;
+        std::uint32_t bounds[9];
+        partition_cell_chunked(kbuf[side], pbuf[side], kbuf[side ^ 1],
+                               pbuf[side ^ 1], c.begin, c.end, shift, par,
+                               bounds);
+        emit_children(c, f, bounds);
+      }
+    }
+    // ... then the rest in parallel across cells (disjoint spans).
+#pragma omp parallel for if (par) schedule(dynamic, 8)
+    for (std::int64_t f = 0; f < static_cast<std::int64_t>(frontier); ++f) {
+      BuildCell& c = cells[lo + f];
+      const std::uint32_t count = c.end - c.begin;
+      if (count <= s_cap || (use_chunked && count >= kChunkedCutoff)) continue;
+      std::uint32_t counts_buf[8];
+      const std::uint32_t* counts = c.hist.data();
+      if (!c.hist_valid) {
+        count_digits(kbuf[side], c.begin, c.end, shift, counts_buf);
+        counts = counts_buf;
+      }
+      std::uint32_t bounds[9], offsets[8];
+      std::uint32_t acc = c.begin;
+      for (int d = 0; d < 8; ++d) {
+        bounds[d] = acc;
+        offsets[d] = acc;
+        acc += counts[d];
+      }
+      bounds[8] = acc;
+      emit_children(c, f, bounds);
+      BuildCell* const child0 = cells.data() + c.first_child;
+      if (fuse_next) {
+        for (int d = 0; d < 8; ++d) child0[d].hist_valid = true;
+        scatter_span_fused(kbuf[side], pbuf[side], kbuf[side ^ 1],
+                           pbuf[side ^ 1], c.begin, c.end, shift, offsets,
+                           child0);
+      } else {
+        scatter_span(kbuf[side], pbuf[side], kbuf[side ^ 1], pbuf[side ^ 1],
+                     c.begin, c.end, shift, offsets);
+      }
+    }
+    lo = hi;
+    hi = cells.size();
+    ++level;
+    level_half *= 0.5;
+    frontier_start.push_back(lo);
+  }
+
+  // --- 3. consolidate the permutation ---------------------------------------
+  // Terminal cells on odd levels left their span in the scratch side; copy
+  // the perm span home. (split cells moved all their bodies into children;
+  // the deepest frontier is terminal by construction.)
+  for (std::size_t l = 1; l < frontier_start.size(); l += 2) {
+    const std::size_t end_of_level = (l + 1 < frontier_start.size())
+                                         ? frontier_start[l + 1]
+                                         : cells.size();
+#pragma omp parallel for if (par) schedule(dynamic, 64)
+    for (std::int64_t ci = static_cast<std::int64_t>(frontier_start[l]);
+         ci < static_cast<std::int64_t>(end_of_level); ++ci) {
+      const BuildCell& c = cells[ci];
+      if (c.first_child < 0 && c.end > c.begin)
+        std::copy(scratch_perm_.data() + c.begin, scratch_perm_.data() + c.end,
+                  perm_.data() + c.begin);
+    }
+  }
+
+  // --- 4. gather tree-ordered positions -------------------------------------
+  sorted_pos_.resize(n);
+#pragma omp parallel for if (par) schedule(static)
+  for (std::int64_t t = 0; t < static_cast<std::int64_t>(n); ++t)
+    sorted_pos_[t] = positions[perm_[t]];
+  scratch_pos_.resize(n);
+
+  // --- 5. preorder emission -------------------------------------------------
+  nodes_.clear();
+  nodes_.reserve(cells.size());
+  auto emit = [&](auto&& self, std::size_t ci, Vec3 center, double half,
+                  int lvl, int parent) -> int {
+    const BuildCell& c = cells[ci];
+    const int id = static_cast<int>(nodes_.size());
+    OctreeNode node;
+    node.center = center;
+    node.half = half;
+    node.level = lvl;
+    node.parent = parent;
+    node.begin = c.begin;
+    node.count = c.end - c.begin;
+    node.has_children = c.first_child >= 0;
+    nodes_.push_back(node);
+    if (c.first_child >= 0) {
+      for (int o = 0; o < 8; ++o) {
+        const int child =
+            self(self, static_cast<std::size_t>(c.first_child) + o,
+                 child_box_center(center, half, o), half * 0.5, lvl + 1, id);
+        nodes_[id].children[o] = child;  // assign after: vector may have grown
+      }
+    }
+    return id;
+  };
+  emit(emit, 0, config_.root_center, config_.root_half, 0, -1);
+  bump_structure();
+}
+
+}  // namespace afmm

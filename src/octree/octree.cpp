@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace afmm {
 
@@ -15,14 +16,19 @@ namespace {
 // Below this range size a build task recurses serially instead of spawning.
 constexpr std::uint32_t kTaskCutoff = 2048;
 
+// Morton keys carry 21 bits per dimension, so no builder can resolve more
+// than 21 levels below the root; the pointer build honors the same cap so
+// the two strategies stay structurally interchangeable.
+constexpr int kMaxResolvableDepth = 21;
+
 int octant_of(const Vec3& p, const Vec3& c) {
   return (p.x >= c.x ? 1 : 0) | (p.y >= c.y ? 2 : 0) | (p.z >= c.z ? 4 : 0);
 }
 
-Vec3 child_center(const Vec3& c, double half, int octant) {
-  const double q = half * 0.5;
-  return {c.x + ((octant & 1) ? q : -q), c.y + ((octant & 2) ? q : -q),
-          c.z + ((octant & 4) ? q : -q)};
+void validate_tree_config(const TreeConfig& config, const char* who) {
+  if (config.max_depth < 0 || config.max_depth > kMaxResolvableDepth)
+    throw std::invalid_argument(std::string(who) +
+                                ": max_depth must be in [0, 21]");
 }
 
 // Process-wide stamp source: version numbers are never reused, even across
@@ -32,6 +38,16 @@ std::uint64_t next_version_stamp() {
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 }  // namespace
+
+BuildStrategy resolved_build_strategy(BuildStrategy s) {
+  if (s != BuildStrategy::kAuto) return s;
+  static const BuildStrategy from_env = [] {
+    const char* e = std::getenv("AFMM_TREE_BUILD");
+    return (e && std::string(e) == "morton") ? BuildStrategy::kMorton
+                                             : BuildStrategy::kPointer;
+  }();
+  return from_env;
+}
 
 void AdaptiveOctree::bump_structure() {
   structure_version_ = next_version_stamp();
@@ -94,7 +110,13 @@ int splice_subtree(std::vector<OctreeNode>& dst,
 
 void AdaptiveOctree::build(std::span<const Vec3> positions,
                            const TreeConfig& config) {
+  validate_tree_config(config, "AdaptiveOctree::build");
   config_ = config;
+  if (resolved_build_strategy(config_.build_strategy) ==
+      BuildStrategy::kMorton) {
+    build_morton_impl(positions);
+    return;
+  }
   const auto n = static_cast<std::uint32_t>(positions.size());
   sorted_pos_.assign(positions.begin(), positions.end());
   perm_.resize(n);
@@ -128,7 +150,7 @@ void AdaptiveOctree::build(std::span<const Vec3> positions,
     const bool spawn =
         config_.parallel_build && node.count > kTaskCutoff;
     for (int o = 0; o < 8; ++o) {
-      const Vec3 cc = child_center(center, half, o);
+      const Vec3 cc = child_box_center(center, half, o);
       if (spawn) {
 #pragma omp task shared(children) firstprivate(o, cc, bucket)
         children[o] =
@@ -163,8 +185,10 @@ void AdaptiveOctree::build(std::span<const Vec3> positions,
 
 void AdaptiveOctree::build_uniform(std::span<const Vec3> positions,
                                    const TreeConfig& config, int depth) {
-  if (depth < 0 || depth > 10)
-    throw std::invalid_argument("build_uniform: depth out of range");
+  validate_tree_config(config, "AdaptiveOctree::build_uniform");
+  if (depth < 0 || depth > config.max_depth)
+    throw std::invalid_argument(
+        "build_uniform: depth must be in [0, config.max_depth]");
   config_ = config;
   const auto n = static_cast<std::uint32_t>(positions.size());
   sorted_pos_.assign(positions.begin(), positions.end());
@@ -190,7 +214,7 @@ void AdaptiveOctree::build_uniform(std::span<const Vec3> positions,
     partition_range(begin, end, center, bucket);
     for (int o = 0; o < 8; ++o) {
       const int child = self(self, bucket[o], bucket[o + 1],
-                             child_center(center, half, o), half * 0.5,
+                             child_box_center(center, half, o), half * 0.5,
                              level + 1);
       nodes_[id].children[o] = child;
       nodes_[child].parent = id;
@@ -268,7 +292,7 @@ int AdaptiveOctree::allocate_children(int id) {
   const int first = static_cast<int>(nodes_.size());
   for (int o = 0; o < 8; ++o) {
     OctreeNode c;
-    c.center = child_center(parent.center, parent.half, o);
+    c.center = child_box_center(parent.center, parent.half, o);
     c.half = parent.half * 0.5;
     c.level = parent.level + 1;
     c.parent = id;
@@ -363,7 +387,7 @@ void AdaptiveOctree::check_invariants() const {
       if (c.begin != at) fail("child spans must tile the parent span");
       at += c.count;
       sum += c.count;
-      if (!(c.center == child_center(n.center, n.half, o)))
+      if (!(c.center == child_box_center(n.center, n.half, o)))
         fail("child center");
     }
     if (sum != n.count) fail("child counts must sum to parent count");

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include "state/serial.hpp"
@@ -159,6 +160,7 @@ void put_tree(ByteWriter& w, const OctreeSnapshot& t) {
   put_vec3(w, t.config.root_center);
   w.f64(t.config.root_half);
   w.u8(t.config.parallel_build ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(t.config.build_strategy));
   w.u64(t.nodes.size());
   for (const auto& n : t.nodes) {
     put_vec3(w, n.center);
@@ -171,9 +173,14 @@ void put_tree(ByteWriter& w, const OctreeSnapshot& t) {
     w.u32(n.begin);
     w.u32(n.count);
   }
-  put_vec3s(w, t.sorted_pos);
+  // The O(N) body arrays are flat PODs in the exact wire layout; bulk-copy
+  // them instead of looping per element (the node loop above stays per-field:
+  // it is O(N/S) and OctreeNode has padding the format must not absorb).
+  static_assert(sizeof(Vec3) == 24, "Vec3 wire layout");
+  w.u64(t.sorted_pos.size());
+  w.bytes(t.sorted_pos.data(), t.sorted_pos.size() * sizeof(Vec3));
   w.u64(t.perm.size());
-  for (auto p : t.perm) w.u32(p);
+  w.bytes(t.perm.data(), t.perm.size() * sizeof(std::uint32_t));
 }
 
 bool get_tree(ByteReader& r, OctreeSnapshot& t) {
@@ -182,6 +189,10 @@ bool get_tree(ByteReader& r, OctreeSnapshot& t) {
   t.config.root_center = get_vec3(r);
   t.config.root_half = r.f64();
   t.config.parallel_build = r.u8() != 0;
+  const std::uint8_t strategy = r.u8();
+  if (strategy > static_cast<std::uint8_t>(BuildStrategy::kMorton))
+    return false;
+  t.config.build_strategy = static_cast<BuildStrategy>(strategy);
   const std::uint64_t num_nodes = r.u64();
   // Conservative lower bound on a serialized node keeps a corrupt count from
   // allocating unbounded memory.
@@ -198,11 +209,20 @@ bool get_tree(ByteReader& r, OctreeSnapshot& t) {
     n.begin = r.u32();
     n.count = r.u32();
   }
-  if (!get_vec3s(r, t.sorted_pos)) return false;
+  const std::uint64_t num_pos = r.u64();
+  if (num_pos * sizeof(Vec3) > r.remaining()) return false;
+  t.sorted_pos.resize(num_pos);
+  {
+    const auto raw = r.bytes(num_pos * sizeof(Vec3));
+    std::memcpy(t.sorted_pos.data(), raw.data(), raw.size());
+  }
   const std::uint64_t num_perm = r.u64();
-  if (num_perm * 4 > r.remaining()) return false;
+  if (num_perm * sizeof(std::uint32_t) > r.remaining()) return false;
   t.perm.resize(num_perm);
-  for (auto& p : t.perm) p = r.u32();
+  {
+    const auto raw = r.bytes(num_perm * sizeof(std::uint32_t));
+    std::memcpy(t.perm.data(), raw.data(), raw.size());
+  }
   return r.ok();
 }
 

@@ -44,7 +44,9 @@
 namespace afmm {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4D4D4641;  // "AFMM"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: tree section gains config.build_strategy and stores sorted_pos / perm
+// as single flat byte runs (bulk memcpy on both ends).
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 enum class SimKind : std::uint32_t { kGravity = 0, kStokes = 1 };
 

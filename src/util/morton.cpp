@@ -1,6 +1,12 @@
 #include "util/morton.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
 
 namespace afmm {
 namespace {
@@ -27,6 +33,20 @@ std::uint32_t compact3(std::uint64_t v) {
   return static_cast<std::uint32_t>(v);
 }
 
+// One dimension of the bisection descent: 21 rounds of the exact comparison
+// + center update the pointer build's recursion performs (child center is
+// parent center +- a quarter box, the offset halving each level).
+std::uint32_t descend_cell(double v, double c, double q) {
+  std::uint32_t cell = 0;
+  for (int l = 0; l < 21; ++l) {
+    const bool up = v >= c;
+    cell = (cell << 1) | (up ? 1u : 0u);
+    c += up ? q : -q;
+    q *= 0.5;
+  }
+  return cell;
+}
+
 }  // namespace
 
 std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
@@ -41,6 +61,8 @@ void morton_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y,
 }
 
 std::uint64_t morton_key(const Vec3& p, const Vec3& lo, double size) {
+  if (!(std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.z)))
+    throw std::invalid_argument("morton_key: non-finite coordinate");
   constexpr double kScale = 2097152.0;  // 2^21
   auto cell = [&](double v, double l) {
     double t = (v - l) / size * kScale;
@@ -48,6 +70,82 @@ std::uint64_t morton_key(const Vec3& p, const Vec3& lo, double size) {
     return static_cast<std::uint32_t>(t);
   };
   return morton_encode(cell(p.x, lo.x), cell(p.y, lo.y), cell(p.z, lo.z));
+}
+
+std::uint64_t morton_key_descent(const Vec3& p, const Vec3& center,
+                                 double half) noexcept {
+  const double q = half * 0.5;
+  return morton_encode(descend_cell(p.x, center.x, q),
+                       descend_cell(p.y, center.y, q),
+                       descend_cell(p.z, center.z, q));
+}
+
+void sort_by_key(std::span<std::uint64_t> keys,
+                 std::span<std::uint32_t> values, bool parallel) {
+  const std::size_t n = keys.size();
+  if (values.size() != n)
+    throw std::invalid_argument("sort_by_key: span size mismatch");
+  if (n < 2) return;
+
+  std::vector<std::uint64_t> key_buf(n);
+  std::vector<std::uint32_t> val_buf(n);
+  std::uint64_t* ksrc = keys.data();
+  std::uint64_t* kdst = key_buf.data();
+  std::uint32_t* vsrc = values.data();
+  std::uint32_t* vdst = val_buf.data();
+
+  const int num_chunks =
+      parallel ? std::max(1, omp_get_max_threads()) : 1;
+  std::vector<std::size_t> chunk(static_cast<std::size_t>(num_chunks) + 1);
+  for (int t = 0; t <= num_chunks; ++t)
+    chunk[t] = n * static_cast<std::size_t>(t) / num_chunks;
+  std::vector<std::array<std::uint32_t, 256>> hist(num_chunks);
+
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = pass * 8;
+#pragma omp parallel for if (parallel) schedule(static)
+    for (int t = 0; t < num_chunks; ++t) {
+      auto& h = hist[t];
+      h.fill(0);
+      for (std::size_t i = chunk[t]; i < chunk[t + 1]; ++i)
+        ++h[(ksrc[i] >> shift) & 0xff];
+    }
+
+    // Exclusive scan, bucket-major then chunk-minor: within a bucket, chunk
+    // t's elements land before chunk t+1's and keep their relative order, so
+    // the scatter is stable for any chunking. A pass where one bucket holds
+    // everything moves nothing -- skip the scatter.
+    std::uint32_t acc = 0;
+    bool degenerate = false;
+    for (int b = 0; b < 256; ++b) {
+      std::uint32_t bucket_total = 0;
+      for (int t = 0; t < num_chunks; ++t) bucket_total += hist[t][b];
+      if (bucket_total == n) degenerate = true;
+      for (int t = 0; t < num_chunks; ++t) {
+        const std::uint32_t c = hist[t][b];
+        hist[t][b] = acc;
+        acc += c;
+      }
+    }
+    if (degenerate) continue;
+
+#pragma omp parallel for if (parallel) schedule(static)
+    for (int t = 0; t < num_chunks; ++t) {
+      auto& h = hist[t];
+      for (std::size_t i = chunk[t]; i < chunk[t + 1]; ++i) {
+        const auto at = h[(ksrc[i] >> shift) & 0xff]++;
+        kdst[at] = ksrc[i];
+        vdst[at] = vsrc[i];
+      }
+    }
+    std::swap(ksrc, kdst);
+    std::swap(vsrc, vdst);
+  }
+
+  if (ksrc != keys.data()) {
+    std::copy(ksrc, ksrc + n, keys.data());
+    std::copy(vsrc, vsrc + n, values.data());
+  }
 }
 
 }  // namespace afmm

@@ -1,10 +1,12 @@
 // 3D Morton (Z-order) keys, 21 bits per dimension in a 64-bit key.
 //
-// Used for deterministic node ordering, locality-preserving body sorts and
-// property tests on the adaptive octree.
+// Used for deterministic node ordering, locality-preserving body sorts, the
+// linearized octree build (octree/morton_build.cpp) and property tests on
+// the adaptive octree.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "util/vec3.hpp"
 
@@ -18,7 +20,37 @@ void morton_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y,
                    std::uint32_t& z);
 
 // Map a point inside the cube [lo, lo+size)^3 to a Morton key at 21-bit
-// resolution. Points on the far boundary are clamped into the cube.
+// resolution. Points on the far boundary are clamped into the cube. Throws
+// std::invalid_argument on a non-finite coordinate (std::clamp passes NaN
+// through, and casting it to an unsigned integer is undefined behavior).
 std::uint64_t morton_key(const Vec3& p, const Vec3& lo, double size);
+
+// Morton key by 21-level bisection descent from the cube (center, half):
+// bit l of each dimension's cell index is exactly the comparison
+// `p[d] >= center_l[d]` that AdaptiveOctree's pointer build makes when it
+// partitions level l, with the comparison centers produced by the same
+// repeated-halving arithmetic. Digit k of the key therefore equals the
+// pointer build's octant_of() decision at depth k BIT FOR BIT, including
+// bodies exactly on splitting planes (>= goes to the upper octant) and
+// bodies outside the root cube (the comparison chain saturates toward the
+// nearest boundary cells, exactly like the recursive descent does).
+//
+// Non-finite coordinates are well-defined here, unlike morton_key's scaled
+// cast: every NaN comparison is false, so a NaN coordinate descends to cell
+// 0 -- precisely where octant_of() sends it -- and +-inf saturates to the
+// boundary cells. This deliberate tolerance keeps build(kMorton) bit-equal
+// to the pointer build on garbage positions, which the engine's resilience
+// loop RELIES on: a fault-corrupted step must still build, then fail the
+// end-of-step audit and roll back.
+std::uint64_t morton_key_descent(const Vec3& p, const Vec3& center,
+                                 double half) noexcept;
+
+// Stable LSD radix sort of `keys`, permuting `values` alongside (both spans
+// must have the same length). With `parallel` set the histogram and scatter
+// passes fan out over OpenMP threads; the result is bit-identical to the
+// serial sort for any thread count (per-chunk histograms are merged
+// bucket-major, thread-minor, so stability is preserved).
+void sort_by_key(std::span<std::uint64_t> keys,
+                 std::span<std::uint32_t> values, bool parallel);
 
 }  // namespace afmm

@@ -1,0 +1,367 @@
+// Equivalence and correctness tests for the Morton-linearized build path
+// (octree/morton_build.cpp, TreeConfig::build_strategy == kMorton).
+//
+// The contract under test is BIT-IDENTITY with the recursive pointer build:
+// same node array (ids, geometry, links, spans), same permutation, same
+// sorted positions -- on uniform and clustered distributions, with bodies
+// exactly on splitting planes, and under the surgery operations (collapse /
+// push_down / enforce_S / rebin) that run on top of a built tree.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/distributions.hpp"
+#include "octree/octree.hpp"
+#include "util/rng.hpp"
+
+namespace afmm {
+namespace {
+
+TreeConfig unit_config(int S) {
+  TreeConfig tc;
+  tc.leaf_capacity = S;
+  tc.root_center = {0.5, 0.5, 0.5};
+  tc.root_half = 0.5;
+  return tc;
+}
+
+std::vector<Vec3> random_points(Rng& rng, int n, const Vec3& c, double half) {
+  std::vector<Vec3> pts;
+  for (int i = 0; i < n; ++i)
+    pts.push_back(c + Vec3{rng.uniform(-half, half), rng.uniform(-half, half),
+                           rng.uniform(-half, half)});
+  return pts;
+}
+
+// The full bit-identity contract: every node field, the permutation and the
+// tree-ordered positions must match exactly (EXPECT_EQ on doubles is
+// bitwise-meaningful here; both builders share child_box_center()).
+void expect_identical_trees(const AdaptiveOctree& a, const AdaptiveOctree& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (int i = 0; i < a.num_nodes(); ++i) {
+    const auto& x = a.node(i);
+    const auto& y = b.node(i);
+    EXPECT_EQ(x.center, y.center) << "node " << i;
+    EXPECT_EQ(x.half, y.half) << "node " << i;
+    EXPECT_EQ(x.parent, y.parent) << "node " << i;
+    EXPECT_EQ(x.children, y.children) << "node " << i;
+    EXPECT_EQ(x.has_children, y.has_children) << "node " << i;
+    EXPECT_EQ(x.level, y.level) << "node " << i;
+    EXPECT_EQ(x.collapsed, y.collapsed) << "node " << i;
+    EXPECT_EQ(x.begin, y.begin) << "node " << i;
+    EXPECT_EQ(x.count, y.count) << "node " << i;
+  }
+  ASSERT_EQ(a.num_bodies(), b.num_bodies());
+  const auto pa = a.perm();
+  const auto pb = b.perm();
+  const auto sa = a.sorted_positions();
+  const auto sb = b.sorted_positions();
+  for (std::size_t t = 0; t < pa.size(); ++t) {
+    ASSERT_EQ(pa[t], pb[t]) << "perm slot " << t;
+    // Bitwise, not value, comparison: the contract is bit-identity and must
+    // hold even for NaN payloads (where operator== would be trivially false).
+    for (int d = 0; d < 3; ++d)
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(sa[t][d]),
+                std::bit_cast<std::uint64_t>(sb[t][d]))
+          << "sorted position " << t << " dim " << d;
+  }
+}
+
+void build_both(const std::vector<Vec3>& pts, TreeConfig tc,
+                AdaptiveOctree& pointer, AdaptiveOctree& morton) {
+  tc.build_strategy = BuildStrategy::kPointer;
+  pointer.build(pts, tc);
+  tc.build_strategy = BuildStrategy::kMorton;
+  morton.build(pts, tc);
+  pointer.check_invariants();
+  morton.check_invariants();
+}
+
+struct EquivCase {
+  int n;
+  int s;
+  bool parallel;
+  bool clustered;
+};
+
+class MortonEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(MortonEquivalence, MatchesPointerBuildBitForBit) {
+  const auto [n, s, parallel, clustered] = GetParam();
+  Rng rng(n * 131 + s + (clustered ? 7 : 0));
+  std::vector<Vec3> pts;
+  if (clustered) {
+    // Plummer sphere squeezed into the unit cube: long tails force deep
+    // adaptive refinement, the regime where derivation bugs would hide.
+    auto set = plummer(static_cast<std::size_t>(n), rng,
+                       {.scale_radius = 0.02, .center = {0.5, 0.5, 0.5}});
+    pts = std::move(set.positions);
+  } else {
+    pts = random_points(rng, n, {0.5, 0.5, 0.5}, 0.5);
+  }
+  auto tc = unit_config(s);
+  tc.parallel_build = parallel;
+  AdaptiveOctree pointer, morton;
+  build_both(pts, tc, pointer, morton);
+  expect_identical_trees(pointer, morton);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MortonEquivalence,
+    ::testing::Values(EquivCase{0, 8, false, false},
+                      EquivCase{1, 8, false, false},
+                      EquivCase{7, 8, false, false},
+                      EquivCase{100, 8, false, false},
+                      EquivCase{1000, 16, false, false},
+                      EquivCase{5000, 1, false, false},
+                      EquivCase{5000, 16, true, false},
+                      EquivCase{20000, 32, true, false},
+                      EquivCase{2000, 16, false, true},
+                      EquivCase{20000, 32, true, true},
+                      EquivCase{20000, 64, false, true}));
+
+TEST(MortonBuild, BodiesOnSplittingPlanesBucketIdentically) {
+  // The boundary-plane convention: octant_of() sends `p >= center` up, and
+  // the descent key makes the same comparison at every level. Bodies sitting
+  // EXACTLY on splitting planes of several depths (0.5 = level-0 plane,
+  // 0.25 / 0.75 = level-1 planes, ...) must land in identical spans.
+  std::vector<Vec3> pts;
+  const double planes[] = {0.5, 0.25, 0.75, 0.125, 0.375, 0.625, 0.875};
+  for (double x : planes)
+    for (double y : planes)
+      for (double z : planes) pts.push_back({x, y, z});
+  // A duplicate batch makes the spans non-trivial and exercises tie-breaking
+  // between identical keys (stable sort + leaf repair => ascending original
+  // index, the pointer build's order).
+  const std::size_t first_batch = pts.size();
+  for (std::size_t i = 0; i < first_batch; ++i) pts.push_back(pts[i]);
+  // Plus the cube corners and the exact center.
+  for (int o = 0; o < 8; ++o)
+    pts.push_back({(o & 1) ? 1.0 : 0.0, (o & 2) ? 1.0 : 0.0,
+                   (o & 4) ? 1.0 : 0.0});
+  pts.push_back({0.5, 0.5, 0.5});
+
+  for (int s : {1, 4, 16}) {
+    auto tc = unit_config(s);
+    tc.max_depth = 8;  // duplicates can never separate; cap the recursion
+    AdaptiveOctree pointer, morton;
+    build_both(pts, tc, pointer, morton);
+    expect_identical_trees(pointer, morton);
+  }
+}
+
+TEST(MortonBuild, OutOfCubePointsBucketIdentically) {
+  // Both builders happily accept bodies outside the root cube (fit_cube
+  // normally prevents this, but rebuild-after-drift can produce strays):
+  // the comparison chain saturates toward the nearest boundary cell the
+  // same way in both.
+  Rng rng(77);
+  auto pts = random_points(rng, 500, {0.5, 0.5, 0.5}, 0.5);
+  pts.push_back({-2.0, 0.3, 0.3});
+  pts.push_back({3.0, 1.7, -0.2});
+  pts.push_back({0.5, 5.0, 0.5});
+  AdaptiveOctree pointer, morton;
+  build_both(pts, unit_config(8), pointer, morton);
+  expect_identical_trees(pointer, morton);
+}
+
+TEST(MortonBuild, MaxDepthCapsRecursion) {
+  // All bodies identical: subdivision can never separate them, so the build
+  // must stop at max_depth with one over-full leaf -- not loop or overflow
+  // the 21-digit key.
+  std::vector<Vec3> pts(100, Vec3{0.5, 0.5, 0.5});
+  auto tc = unit_config(4);
+  tc.max_depth = 6;
+  tc.build_strategy = BuildStrategy::kMorton;
+  AdaptiveOctree tree;
+  tree.build(pts, tc);
+  tree.check_invariants();
+  EXPECT_LE(tree.effective_depth(), 6);
+  EXPECT_EQ(tree.max_leaf_count(), 100);
+}
+
+TEST(MortonBuild, FullDepth21Equivalence) {
+  // max_depth at the Morton resolution limit: shift reaches 0 and the last
+  // digit's lower_bound still works (bit 63 is never set, so prefix | digit
+  // arithmetic cannot overflow).
+  Rng rng(3);
+  auto pts = random_points(rng, 2000, {0.5, 0.5, 0.5}, 1e-5);
+  auto tc = unit_config(2);
+  tc.max_depth = 21;
+  AdaptiveOctree pointer, morton;
+  build_both(pts, tc, pointer, morton);
+  expect_identical_trees(pointer, morton);
+}
+
+TEST(MortonBuild, NonFinitePositionsBucketIdentically) {
+  // The resilience loop rebuilds from fault-corrupted positions and relies
+  // on the AUDITOR -- not the builder -- to reject them. Both strategies
+  // must therefore accept NaN / inf bodies and produce the same tree: every
+  // NaN comparison is false, so such bodies sink to the low octant chain
+  // under both builders.
+  Rng rng(11);
+  auto pts = random_points(rng, 500, {0.5, 0.5, 0.5}, 0.5);
+  pts[31].y = std::numeric_limits<double>::quiet_NaN();
+  pts[77] = {std::numeric_limits<double>::quiet_NaN(),
+             std::numeric_limits<double>::quiet_NaN(),
+             std::numeric_limits<double>::quiet_NaN()};
+  pts[123].z = std::numeric_limits<double>::infinity();
+  pts[200].x = -std::numeric_limits<double>::infinity();
+  auto tc = unit_config(8);
+  tc.max_depth = 8;  // NaNs co-locate at the low corner; cap the recursion
+  AdaptiveOctree pointer, morton;
+  build_both(pts, tc, pointer, morton);
+  expect_identical_trees(pointer, morton);
+}
+
+TEST(MortonBuild, MaxDepthOutsideMortonResolutionThrows) {
+  Rng rng(12);
+  const auto pts = random_points(rng, 10, {0.5, 0.5, 0.5}, 0.5);
+  for (auto strategy : {BuildStrategy::kPointer, BuildStrategy::kMorton}) {
+    auto tc = unit_config(8);
+    tc.build_strategy = strategy;
+    tc.max_depth = 22;
+    AdaptiveOctree tree;
+    EXPECT_THROW(tree.build(pts, tc), std::invalid_argument);
+    tc.max_depth = -1;
+    EXPECT_THROW(tree.build(pts, tc), std::invalid_argument);
+  }
+  auto tc = unit_config(8);
+  tc.max_depth = 22;
+  AdaptiveOctree tree;
+  EXPECT_THROW(tree.build_uniform(pts, tc, 3), std::invalid_argument);
+}
+
+TEST(MortonBuild, BuildUniformDepthValidatesAgainstMaxDepth) {
+  // Regression for the stale hard-coded `depth > 10` cap: the bound is now
+  // TreeConfig::max_depth, so a depth the old code accepted (5 <= 10) is
+  // rejected when the config says the tree must stay shallower -- and legal
+  // depths still build. (A uniform build materializes 8^depth nodes, so the
+  // config cap is the only thing standing between a typo and an allocation
+  // explosion.)
+  std::vector<Vec3> pts = {{0.25, 0.25, 0.25}, {0.75, 0.75, 0.75}};
+  auto tc = unit_config(8);
+  tc.max_depth = 3;
+  AdaptiveOctree tree;
+  tree.build_uniform(pts, tc, 3);
+  tree.check_invariants();
+  EXPECT_EQ(tree.effective_depth(), 3);
+  EXPECT_THROW(tree.build_uniform(pts, tc, 5), std::invalid_argument);
+  EXPECT_THROW(tree.build_uniform(pts, tc, 4), std::invalid_argument);
+  EXPECT_THROW(tree.build_uniform(pts, tc, -1), std::invalid_argument);
+}
+
+TEST(MortonBuild, StrategyRoundTripsThroughSnapshot) {
+  Rng rng(21);
+  const auto pts = random_points(rng, 300, {0.5, 0.5, 0.5}, 0.5);
+  auto tc = unit_config(8);
+  tc.build_strategy = BuildStrategy::kMorton;
+  AdaptiveOctree tree;
+  tree.build(pts, tc);
+  const auto snap = tree.snapshot();
+  EXPECT_EQ(snap.config.build_strategy, BuildStrategy::kMorton);
+  AdaptiveOctree restored;
+  restored.restore(snap);
+  EXPECT_EQ(restored.config().build_strategy, BuildStrategy::kMorton);
+  expect_identical_trees(tree, restored);
+}
+
+// ---- surgery operations on top of a Morton-built tree ----------------------
+
+TEST(MortonBuild, EnforceSAgreesWithPointerBuild) {
+  // enforce_S must see the exact structure it would under the pointer build,
+  // so tightening and loosening S produces identical surgery on both.
+  Rng rng(31);
+  auto set = plummer(4000, rng, {.scale_radius = 0.05, .center = {0.5, 0.5, 0.5}});
+  AdaptiveOctree pointer, morton;
+  build_both(set.positions, unit_config(64), pointer, morton);
+
+  const int ops_down_p = pointer.enforce_S(16);
+  const int ops_down_m = morton.enforce_S(16);
+  EXPECT_EQ(ops_down_p, ops_down_m);
+  pointer.check_invariants();
+  morton.check_invariants();
+  expect_identical_trees(pointer, morton);
+
+  const int ops_up_p = pointer.enforce_S(256);
+  const int ops_up_m = morton.enforce_S(256);
+  EXPECT_EQ(ops_up_p, ops_up_m);
+  expect_identical_trees(pointer, morton);
+}
+
+TEST(MortonBuild, CollapseRebinPushDownReclaimsHiddenChildren) {
+  // The satellite scenario: collapse hides children, a rebin moves bodies
+  // around inside the collapsed span (hidden child spans go stale), and
+  // push_down must REPARTITION the reclaimed children rather than trust the
+  // stale spans -- under the Morton-built layout.
+  Rng rng(41);
+  auto pts = random_points(rng, 2000, {0.5, 0.5, 0.5}, 0.5);
+  auto tc = unit_config(32);
+  tc.build_strategy = BuildStrategy::kMorton;
+  AdaptiveOctree tree;
+  tree.build(pts, tc);
+  tree.check_invariants();
+
+  // Collapse every effective parent of leaves (deepest internal nodes).
+  std::vector<int> collapsed;
+  for (int leaf : tree.effective_leaves()) {
+    const int parent = tree.node(leaf).parent;
+    if (parent >= 0 && !tree.is_effective_leaf(parent)) {
+      tree.collapse(parent);
+      collapsed.push_back(parent);
+    }
+  }
+  ASSERT_FALSE(collapsed.empty());
+  tree.check_invariants();
+
+  // Shuffle bodies (small coherent drift) and rebin into the coarser tree.
+  for (auto& p : pts) {
+    p.x = std::min(0.999, std::max(0.001, p.x + rng.uniform(-0.02, 0.02)));
+    p.y = std::min(0.999, std::max(0.001, p.y + rng.uniform(-0.02, 0.02)));
+    p.z = std::min(0.999, std::max(0.001, p.z + rng.uniform(-0.02, 0.02)));
+  }
+  tree.rebin(pts);
+  tree.check_invariants();
+
+  // Push the collapsed nodes back down: hidden children must be reclaimed
+  // (no fresh allocation) and repartitioned against the moved bodies. Only
+  // collapsed nodes REACHABLE in the effective tree are eligible -- surgery
+  // callers (enforce_S) walk top-down from the root and never touch a node
+  // hidden beneath another collapse, whose span is stale by design.
+  const int nodes_before = tree.num_nodes();
+  std::vector<int> pushed;
+  for (int id : tree.effective_leaves())
+    if (tree.node(id).collapsed && tree.push_down(id)) pushed.push_back(id);
+  ASSERT_FALSE(pushed.empty());
+  EXPECT_EQ(tree.num_nodes(), nodes_before);  // reclaimed, not reallocated
+  tree.check_invariants();
+
+  // After reclamation every reclaimed child's span holds exactly the bodies
+  // geometrically inside its box.
+  const auto sorted = tree.sorted_positions();
+  for (int id : pushed) {
+    const auto& n = tree.node(id);
+    for (int o = 0; o < 8; ++o) {
+      const auto& c = tree.node(n.children[o]);
+      for (std::uint32_t b = c.begin; b < c.begin + c.count; ++b)
+        for (int d = 0; d < 3; ++d) {
+          EXPECT_GE(sorted[b][d], c.center[d] - c.half - 1e-12);
+          EXPECT_LE(sorted[b][d], c.center[d] + c.half + 1e-12);
+        }
+    }
+  }
+
+  // And a full enforce_S pass on the surgically altered tree stays sound:
+  // it reclaims any remaining hidden structure (including nodes that were
+  // collapsed while unreachable) and leaves a capacity-respecting tree.
+  tree.enforce_S(32);
+  tree.check_invariants();
+  EXPECT_LE(tree.max_leaf_count(), 32);
+}
+
+}  // namespace
+}  // namespace afmm
