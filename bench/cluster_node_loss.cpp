@@ -1,0 +1,159 @@
+// Cluster chaos bench: kill one node of a simulated K-node cluster mid-run
+// and demonstrate the full recovery arc -- heartbeat detection, range
+// migration onto the survivors, restore from the coordinated shard
+// checkpoints, and bit-identical convergence with the fault-free run.
+//
+// Artifacts (under --out, default ./results):
+//
+//   cluster_node_loss.csv           per-cluster-step series (halo traffic,
+//                                   retries/timeouts, membership, migrations,
+//                                   recoveries, per-step compute)
+//   cluster_node_loss_trace.json    Chrome trace-event JSON with one
+//                                   "node<k>" track per cluster node plus
+//                                   cluster-level fault/migrate/recover
+//                                   markers (validate with
+//                                   tools/validate_trace.py --cluster-nodes K)
+//   cluster_node_loss_metrics.csv   long-form per-step metrics including the
+//                                   cluster.* counters and gauges
+//
+// Exit status is nonzero if the node loss is not detected, nothing migrates,
+// recovery never happens, a post-recovery audit fails, or the final state
+// diverges from the fault-free reference -- CI runs this as a smoke test.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common.hpp"
+#include "util/rng.hpp"
+
+using namespace afmm;
+using namespace afmm::bench;
+
+namespace {
+
+EngineConfig engine_config(int order, bool obs) {
+  EngineConfig cfg;
+  cfg.fmm.order = order;
+  cfg.tree.root_center = {0, 0, 0};
+  cfg.tree.root_half = 8.0;
+  cfg.balancer.initial_S = 64;
+  cfg.dt = 1e-4;
+  cfg.obs.trace = obs;
+  cfg.obs.metrics = obs;
+  return cfg;
+}
+
+GravityProblem make_problem(const EngineConfig& cfg, long n) {
+  Rng rng(2013);
+  PlummerOptions opt;
+  opt.scale_radius = 1.0;
+  opt.max_radius = 8.0;
+  auto set = plummer(static_cast<std::size_t>(n), rng, opt);
+  NodeSimulator node(system_a_cpu(10), GpuSystemConfig::uniform(2));
+  return GravityProblem(cfg.fmm, 1.0, 1e-3, std::move(node), std::move(set));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long n = arg_or(argc, argv, "n", 4000);
+  const int order = static_cast<int>(arg_or(argc, argv, "order", 3));
+  const int steps = static_cast<int>(arg_or(argc, argv, "steps", 24));
+  const int nodes = static_cast<int>(arg_or(argc, argv, "nodes", 3));
+  const int kill_step = static_cast<int>(
+      arg_or(argc, argv, "kill", static_cast<long>(steps / 2)));
+  const std::string out = out_dir(argc, argv);
+  validate_args(argc, argv);
+
+  std::printf(
+      "cluster node loss: %ld bodies, order %d, %d nodes, kill node %d at "
+      "step %d, %d steps\n",
+      n, order, nodes, nodes - 1, kill_step, steps);
+
+  // Fault-free reference: the recovery run must converge to this bit for bit.
+  const EngineConfig ref_cfg = engine_config(order, /*obs=*/false);
+  ClusterConfig ref_cluster;
+  ref_cluster.num_nodes = nodes;
+  ClusterEngine<GravityProblem> reference(ref_cfg, ref_cluster,
+                                          make_problem(ref_cfg, n));
+  reference.run(steps);
+
+  // Chaos run: coordinated shard checkpoints on a cadence, one node crashes.
+  const EngineConfig cfg = engine_config(order, /*obs=*/true);
+  ClusterConfig cluster;
+  cluster.num_nodes = nodes;
+  cluster.heartbeat_miss_threshold = 2;
+  cluster.checkpoint_interval = 4;
+  cluster.checkpoint_dir = out + "/cluster_node_loss_ckpt";
+  cluster.faults.node_crash(kill_step, nodes - 1);
+  std::filesystem::remove_all(cluster.checkpoint_dir);
+  ClusterEngine<GravityProblem> chaos(cfg, cluster, make_problem(cfg, n));
+
+  Table table({"step", "alive", "suspected", "dead", "halo_bytes",
+               "halo_msgs", "retries", "timeouts", "halo_s", "migrated",
+               "moved_bodies", "recovered", "ckpt", "compute_s"});
+  bool recovered = false, migrated = false, audits_ok = true;
+  int timeouts = 0;
+  int guard = 10 * (steps + 10);
+  while (chaos.engine().steps_taken() < steps && guard-- > 0) {
+    const ClusterStepRecord rec = chaos.step();
+    recovered |= rec.recovered;
+    migrated |= rec.migrated;
+    timeouts += rec.halo_timeouts;
+    if (rec.recovered && !chaos.engine().run_audit().ok()) audits_ok = false;
+    table.add_row({Table::integer(rec.step), Table::integer(rec.alive_nodes),
+                   Table::integer(rec.suspected_nodes),
+                   Table::integer(rec.dead_nodes),
+                   Table::integer(static_cast<long long>(rec.halo_bytes)),
+                   Table::integer(rec.halo_messages),
+                   Table::integer(rec.halo_retries),
+                   Table::integer(rec.halo_timeouts),
+                   Table::num(rec.halo_seconds, 6),
+                   Table::integer(rec.migrated ? 1 : 0),
+                   Table::integer(static_cast<long long>(rec.migrated_bodies)),
+                   Table::integer(rec.recovered ? 1 : 0),
+                   Table::integer(rec.checkpointed ? 1 : 0),
+                   Table::num(rec.inner.compute_seconds, 6)});
+  }
+  table.mirror_csv(out + "/cluster_node_loss.csv");
+  table.print("cluster node loss | per-step recovery arc");
+
+  const bool finished = chaos.engine().steps_taken() == steps;
+  const bool final_audit = chaos.engine().run_audit().ok();
+
+  // Bit-identity with the fault-free reference (pure restore + deterministic
+  // replay -- the cluster layer never touches the physics).
+  bool identical = true;
+  const auto& a = reference.engine().problem().bodies();
+  const auto& b = chaos.engine().problem().bodies();
+  for (std::size_t i = 0; i < a.size() && identical; ++i)
+    identical = a.positions[i] == b.positions[i] &&
+                a.velocities[i] == b.velocities[i];
+
+  const std::string trace_path = out + "/cluster_node_loss_trace.json";
+  const std::string metrics_path = out + "/cluster_node_loss_metrics.csv";
+  const bool trace_ok =
+      chaos.engine().trace() &&
+      chaos.engine().trace()->write_json_file(trace_path);
+  const bool metrics_ok =
+      chaos.engine().metrics() &&
+      chaos.engine().metrics()->write_csv_file(metrics_path);
+  std::printf("\ntrace -> %s%s\nmetrics -> %s%s\n", trace_path.c_str(),
+              trace_ok ? "" : " (WRITE FAILED)", metrics_path.c_str(),
+              metrics_ok ? "" : " (WRITE FAILED)");
+
+  std::printf(
+      "arc: detected=%s (%d timeouts), migrations=%d, recoveries=%d, "
+      "audits=%s, final state %s fault-free reference\n",
+      timeouts > 0 ? "yes" : "NO", timeouts, chaos.migrations(),
+      chaos.recoveries(), audits_ok && final_audit ? "ok" : "FAILED",
+      identical ? "IDENTICAL to" : "DIVERGED from");
+
+  const bool ok = finished && recovered && migrated && timeouts > 0 &&
+                  audits_ok && final_audit && identical && trace_ok &&
+                  metrics_ok;
+  if (!ok) std::fprintf(stderr, "cluster_node_loss: FAILED\n");
+  return ok ? 0 : 1;
+}

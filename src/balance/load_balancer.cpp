@@ -233,9 +233,14 @@ LbStepReport LoadBalancer::post_step(AdaptiveOctree& tree,
   const bool diverged = capability_shift(observed, cores);
   if (node.health().fault_epoch != last_epoch_) {
     last_epoch_ = node.health().fault_epoch;
-    // A registry change stays "pending" for a few judged steps: the divergence
-    // it causes may only surface once the next solve runs on the new machine.
-    epoch_pending_ = std::max(2 * config_.shift_min_observations, 6);
+    // A balancer that has digested nothing yet is meeting the machine for the
+    // first time (the registry's epoch starts above zero: provisioning bumps
+    // it); adopt the epoch silently instead of treating it as a shift.
+    if (model_.ready())
+      // A registry change stays "pending" for a few judged steps: the
+      // divergence it causes may only surface once the next solve runs on the
+      // new machine.
+      epoch_pending_ = std::max(2 * config_.shift_min_observations, 6);
   } else if (epoch_pending_ > 0 && state_ == LbState::kObservation &&
              !diverged) {
     --epoch_pending_;  // change absorbed without ever mattering

@@ -1,0 +1,76 @@
+#include "cluster/interconnect.hpp"
+
+#include <algorithm>
+
+namespace afmm {
+
+namespace {
+
+TransferLinkConfig as_transfer_link(const ClusterLinkConfig& link) {
+  TransferLinkConfig t;
+  t.bandwidth_gbs = link.bandwidth_gbs;
+  t.latency_us = link.latency_us;
+  t.host_launch_us = 0.0;
+  t.max_retries = link.max_retries;
+  t.backoff_base_us = link.backoff_base_us;
+  t.backoff_multiplier = link.backoff_multiplier;
+  return t;
+}
+
+// Full retry-storm cost of a message whose endpoint is silent: every attempt
+// pays the transfer, every retry the growing backoff, and nothing arrives.
+double timeout_seconds(const ClusterLinkConfig& link, std::uint64_t bytes) {
+  const TransferLinkConfig t = as_transfer_link(link);
+  const double once = transfer_seconds(t, bytes);
+  double total = once;
+  double backoff = link.backoff_base_us * 1e-6;
+  for (int attempt = 0; attempt < link.max_retries; ++attempt) {
+    total += once + backoff;
+    backoff *= link.backoff_multiplier;
+  }
+  return total;
+}
+
+}  // namespace
+
+double cluster_transfer_seconds(const ClusterLinkConfig& link,
+                                std::uint64_t bytes) {
+  return transfer_seconds(as_transfer_link(link), bytes);
+}
+
+ExchangeOutcome exchange_halos(const ClusterLinkConfig& link,
+                               std::span<const HaloMessage> messages,
+                               std::span<const double> drop_prob,
+                               std::span<const char> crashed,
+                               std::uint64_t step_seed) {
+  ExchangeOutcome out;
+  out.node_seconds.assign(drop_prob.size(), 0.0);
+  const TransferLinkConfig tlink = as_transfer_link(link);
+  for (const auto& m : messages) {
+    const auto src = static_cast<std::size_t>(m.src);
+    const auto dst = static_cast<std::size_t>(m.dst);
+    if (crashed[src] || crashed[dst]) {
+      // Silent endpoint: the sender exhausts its retries and gives up. The
+      // cost lands on whichever endpoint is still alive and waiting.
+      const double storm = timeout_seconds(link, m.bytes);
+      if (!crashed[dst])
+        out.node_seconds[dst] += storm;
+      else if (!crashed[src])
+        out.node_seconds[src] += storm;
+      out.retries += link.max_retries;
+      ++out.timeouts;
+      continue;
+    }
+    TransferFaultModel faults;
+    faults.fail_prob = std::max(drop_prob[src], drop_prob[dst]);
+    faults.seed = step_seed;
+    int retries = 0;
+    out.node_seconds[dst] +=
+        transfer_seconds_with_retries(tlink, m.bytes, faults, m.key, &retries);
+    out.retries += retries;
+  }
+  for (double s : out.node_seconds) out.seconds = std::max(out.seconds, s);
+  return out;
+}
+
+}  // namespace afmm

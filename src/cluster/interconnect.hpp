@@ -1,0 +1,66 @@
+// Simulated cluster interconnect for the halo exchange.
+//
+// Mirrors the CPU-GPU transfer model (gpusim/transfer.hpp) one level up: a
+// message between two nodes pays a per-message latency plus bytes/bandwidth;
+// while a transient link-fault window is open on either endpoint each
+// attempt can fail, paying the full transfer plus an exponentially growing
+// backoff before the retry, and after `max_retries` failed attempts the
+// final attempt goes through -- transient faults delay data, never corrupt
+// it. A CRASHED endpoint is different in kind: every attempt fails and there
+// is no forced success, so the sender burns the full retry storm and gives
+// up (a timeout). That storm is exactly the signal the failure detector's
+// heartbeat misses correspond to.
+//
+// Failure draws reuse TransferFaultModel keyed by (step seed, message key,
+// attempt), so a given (schedule seed, step) replays the identical drops and
+// retries -- cluster chaos tests are ordinary deterministic tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/transfer.hpp"
+
+namespace afmm {
+
+struct ClusterLinkConfig {
+  double bandwidth_gbs = 1.25;      // ~10GbE effective per-link throughput
+  double latency_us = 50.0;         // per-message setup latency
+  int max_retries = 4;              // failed attempts before success/timeout
+  double backoff_base_us = 200.0;   // backoff before the first retry
+  double backoff_multiplier = 2.0;  // backoff growth per further retry
+};
+
+// One aggregated halo message (all traffic src -> dst of one step). `key`
+// decorrelates the failure draws of distinct messages within a step.
+struct HaloMessage {
+  int src = 0;
+  int dst = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t key = 0;
+};
+
+struct ExchangeOutcome {
+  double seconds = 0.0;  // slowest node's receive timeline (the step blocks)
+  std::vector<double> node_seconds;  // per-node time spent receiving
+  int retries = 0;                   // failed attempts that were retried
+  int timeouts = 0;                  // messages abandoned (crashed endpoint)
+};
+
+// Seconds one attempt of `bytes` takes on the link (latency + bytes/bw).
+double cluster_transfer_seconds(const ClusterLinkConfig& link,
+                                std::uint64_t bytes);
+
+// Runs the step's halo exchange. `drop_prob[n]` is node n's transient
+// link-fault probability (a message draws with max(src, dst) probability);
+// `crashed[n]` nonzero marks a silent node (its messages time out). Receive
+// time is charged to the destination's timeline; messages to different
+// destinations overlap, so the exchange costs max over nodes.
+ExchangeOutcome exchange_halos(const ClusterLinkConfig& link,
+                               std::span<const HaloMessage> messages,
+                               std::span<const double> drop_prob,
+                               std::span<const char> crashed,
+                               std::uint64_t step_seed);
+
+}  // namespace afmm

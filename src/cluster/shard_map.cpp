@@ -1,0 +1,147 @@
+#include "cluster/shard_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace afmm {
+
+ShardMap::ShardMap(std::vector<ShardRange> ranges)
+    : ranges_(std::move(ranges)) {
+  if (ranges_.empty())
+    throw std::invalid_argument("ShardMap: need at least one range");
+  std::uint32_t cursor = 0;
+  for (const auto& r : ranges_) {
+    if (r.begin != cursor || r.end < r.begin)
+      throw std::invalid_argument("ShardMap: ranges must be contiguous");
+    cursor = r.end;
+  }
+}
+
+ShardMap ShardMap::uniform(std::uint32_t num_bodies, int num_shards) {
+  if (num_shards <= 0)
+    throw std::invalid_argument("ShardMap::uniform: need >= 1 shard");
+  std::vector<ShardRange> ranges(static_cast<std::size_t>(num_shards));
+  const std::uint32_t base = num_bodies / static_cast<std::uint32_t>(num_shards);
+  const std::uint32_t extra = num_bodies % static_cast<std::uint32_t>(num_shards);
+  std::uint32_t cursor = 0;
+  for (int k = 0; k < num_shards; ++k) {
+    ranges[k].begin = cursor;
+    cursor += base + (static_cast<std::uint32_t>(k) < extra ? 1 : 0);
+    ranges[k].end = cursor;
+  }
+  return ShardMap(std::move(ranges));
+}
+
+int ShardMap::owner_of(std::uint32_t t) const {
+  // Upper-bound on `end` skips empty ranges: the owner is the first range
+  // whose end exceeds t.
+  int lo = 0, hi = num_shards() - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (ranges_[mid].end > t)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+ShardMap weighted_split(const AdaptiveOctree& tree,
+                        const InteractionLists& lists, const CostModel& model,
+                        std::span<const double> weights) {
+  const int num_shards = static_cast<int>(weights.size());
+  if (num_shards <= 0)
+    throw std::invalid_argument("weighted_split: need >= 1 weight");
+  const std::vector<int> leaves = tree.effective_leaves();
+
+  // Per-target-leaf P2P interactions from the cached lists.
+  std::vector<std::uint64_t> interactions(
+      static_cast<std::size_t>(tree.num_nodes()), 0);
+  for (const auto& w : lists.p2p)
+    interactions[static_cast<std::size_t>(w.target)] = w.interactions;
+
+  // M2L pairs targeting the leaf itself (pairs targeting internal nodes are
+  // shared work the split cannot attribute to one shard; the per-leaf share
+  // below is what the fine-grained optimizer also reasons about).
+  std::vector<std::uint32_t> m2l(static_cast<std::size_t>(tree.num_nodes()), 0);
+  if (!lists.m2l_offset.empty()) {
+    for (int id = 0; id < tree.num_nodes(); ++id)
+      m2l[static_cast<std::size_t>(id)] =
+          lists.m2l_offset[static_cast<std::size_t>(id) + 1] -
+          lists.m2l_offset[static_cast<std::size_t>(id)];
+  }
+
+  std::vector<double> cost(leaves.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const auto& n = tree.node(leaves[i]);
+    const auto inter = interactions[static_cast<std::size_t>(leaves[i])];
+    const auto pairs = m2l[static_cast<std::size_t>(leaves[i])];
+    double c;
+    if (model.ready()) {
+      const CostCoefficients& k = model.coefficients();
+      c = k.p2p * static_cast<double>(inter) +
+          (k.p2m_per_body + k.l2p_per_body) * static_cast<double>(n.count) +
+          k.m2l * static_cast<double>(pairs);
+    } else {
+      c = static_cast<double>(inter) + static_cast<double>(n.count);
+    }
+    // Every leaf carries at least epsilon cost so zero-work leaves still
+    // distribute instead of all piling onto one shard.
+    cost[i] = c > 0.0 ? c : 1e-12;
+    total += cost[i];
+  }
+
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w > 0.0 ? w : 0.0;
+  if (weight_sum <= 0.0)
+    throw std::invalid_argument("weighted_split: all weights are zero");
+
+  std::vector<ShardRange> ranges(static_cast<std::size_t>(num_shards));
+  std::uint32_t cursor = 0;   // body index of the next range's begin
+  std::size_t leaf = 0;       // next unassigned leaf
+  double acc_target = 0.0;    // cumulative cost target through shard k
+  double acc = 0.0;           // cumulative cost actually assigned
+  for (int k = 0; k < num_shards; ++k) {
+    ranges[static_cast<std::size_t>(k)].begin = cursor;
+    const double w = weights[static_cast<std::size_t>(k)];
+    if (w > 0.0 && k < num_shards - 1) {
+      acc_target += total * (w / weight_sum);
+      // Greedy prefix: take leaves while adding the next one keeps the
+      // running total closer to (or below) this shard's cumulative target.
+      while (leaf < leaves.size()) {
+        const double next = acc + cost[leaf];
+        if (next > acc_target && (next - acc_target) > (acc_target - acc))
+          break;
+        acc = next;
+        const auto& n = tree.node(leaves[leaf]);
+        cursor = n.begin + n.count;
+        ++leaf;
+      }
+    } else if (w > 0.0) {
+      // Last positive-weight shard takes every remaining leaf.
+      for (; leaf < leaves.size(); ++leaf) {
+        acc += cost[leaf];
+        const auto& n = tree.node(leaves[leaf]);
+        cursor = n.begin + n.count;
+      }
+    }
+    ranges[static_cast<std::size_t>(k)].end = cursor;
+  }
+  // Trailing zero-weight shards may leave leaves unassigned; fold them into
+  // the last positive-weight shard.
+  if (leaf < leaves.size()) {
+    int last = num_shards - 1;
+    while (last > 0 && weights[static_cast<std::size_t>(last)] <= 0.0) --last;
+    const auto& n = tree.node(leaves.back());
+    const std::uint32_t end = n.begin + n.count;
+    ranges[static_cast<std::size_t>(last)].end = end;
+    for (int k = last + 1; k < num_shards; ++k) {
+      ranges[static_cast<std::size_t>(k)].begin = end;
+      ranges[static_cast<std::size_t>(k)].end = end;
+    }
+  }
+  return ShardMap(std::move(ranges));
+}
+
+}  // namespace afmm

@@ -1,0 +1,76 @@
+// Partition of the Morton-ordered body array across cluster nodes.
+//
+// The adaptive octree stores bodies in tree (Morton) order, and every node's
+// span is a contiguous run of that array -- so "shard k owns the key range
+// [begin_k, end_k)" is simply a contiguous slice of tree order, and a whole
+// effective leaf always lives on exactly one shard as long as cuts land on
+// leaf boundaries. ShardMap is that slice table: K contiguous, ascending,
+// gap-free ranges covering [0, N). Empty ranges are legal (a dead or
+// zero-weight node owns nothing).
+//
+// weighted_split() is the global rebalancer's re-split: it cuts tree order at
+// effective-leaf boundaries so each shard's share of the predicted per-leaf
+// cost tracks its capability weight. Costs come from the load balancer's
+// observed cost model when it has digested observations, and fall back to an
+// interactions+bodies proxy before that -- either way the split is a pure
+// function of (tree, lists, model, weights), so every node of a simulated
+// cluster computes the identical map.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "balance/cost_model.hpp"
+#include "octree/octree.hpp"
+#include "octree/traversal.hpp"
+
+namespace afmm {
+
+struct ShardRange {
+  std::uint32_t begin = 0;  // tree-order body span [begin, end)
+  std::uint32_t end = 0;
+
+  std::uint32_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+  // Ranges must be contiguous (range k+1 begins where range k ends), start at
+  // 0 and be non-decreasing; throws std::invalid_argument otherwise.
+  explicit ShardMap(std::vector<ShardRange> ranges);
+
+  // N bodies cut into `num_shards` near-equal contiguous ranges (remainder
+  // spread over the leading shards) -- the pre-observation default split.
+  static ShardMap uniform(std::uint32_t num_bodies, int num_shards);
+
+  int num_shards() const { return static_cast<int>(ranges_.size()); }
+  const ShardRange& range(int k) const { return ranges_[k]; }
+  const std::vector<ShardRange>& ranges() const { return ranges_; }
+  std::uint32_t num_bodies() const {
+    return ranges_.empty() ? 0 : ranges_.back().end;
+  }
+
+  // Shard owning tree-order index `t` (empty ranges never own anything).
+  // `t` must be < num_bodies().
+  int owner_of(std::uint32_t t) const;
+
+  friend bool operator==(const ShardMap&, const ShardMap&) = default;
+
+ private:
+  std::vector<ShardRange> ranges_;
+};
+
+// Capability-weighted re-split of `tree`'s bodies into weights.size() shards,
+// cutting only at effective-leaf boundaries. A zero (or negative) weight
+// yields an empty range. Per-leaf cost is the cost model's predicted
+// near+far contribution of that leaf when the model is ready, else the
+// structural proxy (P2P interactions + bodies).
+ShardMap weighted_split(const AdaptiveOctree& tree,
+                        const InteractionLists& lists, const CostModel& model,
+                        std::span<const double> weights);
+
+}  // namespace afmm

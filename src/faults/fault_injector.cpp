@@ -27,6 +27,9 @@ const char* to_string(FaultKind k) {
     case FaultKind::kCpuPreemption: return "cpu-preemption";
     case FaultKind::kCpuRestore: return "cpu-restore";
     case FaultKind::kTransferFaults: return "transfer-faults";
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kNodeRejoin: return "node-rejoin";
+    case FaultKind::kNodeLinkFaults: return "node-link-faults";
   }
   return "?";
 }
@@ -53,6 +56,14 @@ std::string describe(const FaultEvent& e) {
     case FaultKind::kTransferFaults:
       std::snprintf(buf, sizeof(buf), "%s p=%g for %d steps",
                     to_string(e.kind), e.fail_prob, e.duration);
+      break;
+    case FaultKind::kNodeCrash:
+    case FaultKind::kNodeRejoin:
+      std::snprintf(buf, sizeof(buf), "%s node=%d", to_string(e.kind), e.node);
+      break;
+    case FaultKind::kNodeLinkFaults:
+      std::snprintf(buf, sizeof(buf), "%s node=%d p=%g for %d steps",
+                    to_string(e.kind), e.node, e.fail_prob, e.duration);
       break;
     default:
       std::snprintf(buf, sizeof(buf), "%s", to_string(e.kind));
@@ -91,6 +102,23 @@ FaultSchedule& FaultSchedule::transfer_faults(int step, double fail_prob,
                                               int duration) {
   events.push_back(
       {step, FaultKind::kTransferFaults, 0, 1.0, 0, fail_prob, duration});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::node_crash(int step, int node) {
+  events.push_back({step, FaultKind::kNodeCrash, 0, 1.0, 0, 0.0, 0, node});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::node_rejoin(int step, int node) {
+  events.push_back({step, FaultKind::kNodeRejoin, 0, 1.0, 0, 0.0, 0, node});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::node_link_faults(int step, int node,
+                                               double fail_prob, int duration) {
+  events.push_back(
+      {step, FaultKind::kNodeLinkFaults, 0, 1.0, 0, fail_prob, duration, node});
   return *this;
 }
 
@@ -146,6 +174,13 @@ void FaultInjector::apply(const FaultEvent& e, MachineHealth& health) {
       health.transfer_fault_prob = std::clamp(e.fail_prob, 0.0, 1.0);
       transfer_window_end_ = e.duration > 0 ? e.step + e.duration : -1;
       if (health.transfer_fault_prob == 0.0) transfer_window_end_ = -1;
+      break;
+    case FaultKind::kNodeCrash:
+    case FaultKind::kNodeRejoin:
+    case FaultKind::kNodeLinkFaults:
+      // Node-scoped: no single-machine field to touch. The cluster layer
+      // interprets the fired event against its per-node views; the epoch
+      // bump below still marks "something changed" for observers.
       break;
   }
   ++health.fault_epoch;

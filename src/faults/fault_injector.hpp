@@ -12,6 +12,19 @@
 //                       with `fail_prob` for `duration` steps (0 = until a
 //                       later window event overrides it)
 //
+// Node-scoped events (cluster/ layer; `node` selects the cluster node):
+//
+//   kNodeCrash       -- the whole node goes silent: heartbeats stop, halo
+//                       messages to it time out
+//   kNodeRejoin      -- a crashed node comes back healthy
+//   kNodeLinkFaults  -- transient interconnect window on one node's links:
+//                       halo messages touching it fail with `fail_prob` for
+//                       `duration` steps
+//
+// Node-scoped events do not touch the single-machine fields of a
+// MachineHealth (apply() only bumps the epoch for them); the cluster layer
+// interprets the fired events against its per-node health views.
+//
 // The injector owns no randomness of its own beyond a seed it folds with the
 // step index into MachineHealth::transfer_seed, so a given (schedule, seed)
 // replays the identical fault trajectory every run -- chaos tests are
@@ -33,6 +46,9 @@ enum class FaultKind {
   kCpuPreemption,
   kCpuRestore,
   kTransferFaults,
+  kNodeCrash,
+  kNodeRejoin,
+  kNodeLinkFaults,
 };
 
 const char* to_string(FaultKind k);
@@ -48,8 +64,9 @@ struct FaultEvent {
   int device = 0;           // GPU index (loss / recovery / throttle)
   double clock_scale = 1.0; // throttle target in (0, 1]
   int cores = 0;            // cores taken by kCpuPreemption
-  double fail_prob = 0.0;   // kTransferFaults failure probability
-  int duration = 0;         // kTransferFaults window length in steps
+  double fail_prob = 0.0;   // kTransferFaults / kNodeLinkFaults probability
+  int duration = 0;         // fault-window length in steps
+  int node = 0;             // cluster node index (kNode* events)
 };
 
 struct FaultSchedule {
@@ -62,6 +79,10 @@ struct FaultSchedule {
   FaultSchedule& cpu_preemption(int step, int cores);
   FaultSchedule& cpu_restore(int step);
   FaultSchedule& transfer_faults(int step, double fail_prob, int duration);
+  FaultSchedule& node_crash(int step, int node);
+  FaultSchedule& node_rejoin(int step, int node);
+  FaultSchedule& node_link_faults(int step, int node, double fail_prob,
+                                  int duration);
 
   bool empty() const { return events.empty(); }
 };

@@ -43,13 +43,18 @@ struct MachineHealth {
   std::uint64_t fault_epoch = 0;
 
   // (Re)provision for `num_gpus` devices and `cores` CPU cores, all healthy.
+  // The fault epoch is preserved AND bumped, never zeroed: re-provisioning is
+  // itself a capability change, and an observer that stored an epoch before a
+  // checkpoint-restore-then-reset sequence must never see a value repeat
+  // (zeroing made post-reset epochs collide with pre-reset ones, silently
+  // hiding real shifts from epoch-comparing observers).
   void reset(std::size_t num_gpus, int cores) {
     gpus.assign(num_gpus, GpuHealth{});
     cpu_cores_available = cores;
     cpu_cores_provisioned = cores;
     transfer_fault_prob = 0.0;
     transfer_seed = 0;
-    fault_epoch = 0;
+    ++fault_epoch;
   }
 
   bool nominal() const {

@@ -7,31 +7,14 @@
 #include <cstring>
 #include <filesystem>
 
+#include "state/checkpoint_detail.hpp"
 #include "state/serial.hpp"
 
 namespace afmm {
 
-namespace {
+// ---- field-level encoders/decoders (shared with state/shard_store.cpp) ----
 
-namespace fs = std::filesystem;
-
-enum class SectionId : std::uint32_t {
-  kMeta = 1,
-  kBodies = 2,
-  kDerived = 3,
-  kObserved = 4,
-  kTree = 5,
-  kBalancer = 6,
-  kHealth = 7,
-  kInjector = 8,
-  kRng = 9,
-};
-
-void set_error(std::string* error, const std::string& what) {
-  if (error) *error = what;
-}
-
-// ---- field-level encoders/decoders ----------------------------------------
+namespace ckpt {
 
 void put_vec3(ByteWriter& w, const Vec3& v) {
   w.f64(v.x);
@@ -85,6 +68,19 @@ bool get_u64s(ByteReader& r, std::vector<std::uint64_t>& out) {
   if (n * 8 > r.remaining()) return false;
   out.resize(n);
   for (auto& x : out) x = r.u64();
+  return r.ok();
+}
+
+void put_u32s(ByteWriter& w, const std::vector<std::uint32_t>& v) {
+  w.u64(v.size());
+  for (auto x : v) w.u32(x);
+}
+
+bool get_u32s(ByteReader& r, std::vector<std::uint32_t>& out) {
+  const std::uint64_t n = r.u64();
+  if (n * 4 > r.remaining()) return false;
+  out.resize(n);
+  for (auto& x : out) x = r.u32();
   return r.ok();
 }
 
@@ -304,11 +300,47 @@ bool get_health(ByteReader& r, MachineHealth& h) {
   return r.ok();
 }
 
+// v3 seal: the CRC covers the section header (id, size) AND the payload, so
+// corruption anywhere in the section record is caught -- a payload-only CRC
+// let a flipped id byte reclassify a section as unknown (skipped "for forward
+// compatibility") and decode a checkpoint missing one of its parts.
+std::uint32_t section_crc(std::uint32_t id,
+                          std::span<const std::uint8_t> payload) {
+  ByteWriter hdr;
+  hdr.u32(id);
+  hdr.u64(payload.size());
+  return crc32_extend(crc32(hdr.buffer()), payload);
+}
+
+}  // namespace ckpt
+
+using namespace ckpt;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+enum class SectionId : std::uint32_t {
+  kMeta = 1,
+  kBodies = 2,
+  kDerived = 3,
+  kObserved = 4,
+  kTree = 5,
+  kBalancer = 6,
+  kHealth = 7,
+  kInjector = 8,
+  kRng = 9,
+};
+
+void set_error(std::string* error, const std::string& what) {
+  if (error) *error = what;
+}
+
 void append_section(ByteWriter& out, SectionId id, ByteWriter&& payload) {
   const auto& bytes = payload.buffer();
   out.u32(static_cast<std::uint32_t>(id));
   out.u64(bytes.size());
-  out.u32(crc32(bytes));
+  out.u32(section_crc(static_cast<std::uint32_t>(id), bytes));
   out.bytes(bytes.data(), bytes.size());
 }
 
@@ -399,7 +431,7 @@ std::optional<SimCheckpoint> decode_checkpoint(
       return std::nullopt;
     }
     const auto payload = header.bytes(size);
-    if (crc32(payload) != crc) {
+    if (section_crc(id, payload) != crc) {
       set_error(error, "CRC mismatch in section " + std::to_string(id));
       return std::nullopt;
     }
@@ -458,6 +490,12 @@ std::optional<SimCheckpoint> decode_checkpoint(
       set_error(error, "malformed section " + std::to_string(id));
       return std::nullopt;
     }
+  }
+  // Bytes past the declared sections mean the count itself is corrupt (a
+  // flipped count byte would otherwise silently drop trailing sections).
+  if (header.remaining() != 0) {
+    set_error(error, "trailing bytes after last section");
+    return std::nullopt;
   }
   if (!have_meta || !have_bodies || !have_tree || !have_balancer ||
       !have_health || !have_injector) {

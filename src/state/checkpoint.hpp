@@ -4,12 +4,16 @@
 // Format (little-endian):
 //
 //   u32 magic 'AFMM'   u32 format_version   u32 section_count
-//   section*: u32 id | u64 payload_size | u32 crc32(payload) | payload
+//   section*: u32 id | u64 payload_size | u32 crc32(id|size|payload) | payload
 //
-// Every section is independently CRC'd, so a torn write (process killed
-// mid-checkpoint), a truncation, or a flipped bit is detected on load and
-// the store falls back to the previous snapshot. A format_version mismatch
-// rejects the whole file; unknown section ids are skipped (forward compat).
+// Every section is independently CRC'd -- over its id and size as well as the
+// payload, so a flipped header byte cannot silently reclassify a section as
+// unknown-and-skippable -- and any bytes left over after the declared section
+// count reject the file. A torn write (process killed mid-checkpoint), a
+// truncation, or a flipped bit is therefore detected on load and the store
+// falls back to the previous snapshot. A format_version mismatch rejects the
+// whole file; unknown section ids with a valid CRC are skipped (forward
+// compat).
 //
 // A SimCheckpoint captures EVERYTHING a trajectory depends on: bodies (and
 // the solved accelerations/potentials they will be kicked with), the
@@ -46,7 +50,10 @@ namespace afmm {
 inline constexpr std::uint32_t kCheckpointMagic = 0x4D4D4641;  // "AFMM"
 // v2: tree section gains config.build_strategy and stores sorted_pos / perm
 // as single flat byte runs (bulk memcpy on both ends).
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+// v3: section CRC covers id + size + payload (not payload alone), and
+// trailing bytes after the last declared section reject the file -- a flipped
+// section-id or section-count byte can no longer slip past validation.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 enum class SimKind : std::uint32_t { kGravity = 0, kStokes = 1 };
 

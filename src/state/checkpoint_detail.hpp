@@ -1,0 +1,56 @@
+// Field-level codecs shared by the checkpoint format (state/checkpoint.cpp)
+// and the sharded store (state/shard_store.cpp). Both formats serialize the
+// same structs -- trees, health registries, balancer snapshots, observed
+// times -- and bit-identical restore demands one codec per struct, not two
+// drifting copies.
+//
+// Every get_* is bounds-checked through ByteReader: a corrupt length can
+// never balloon an allocation, and a short payload latches the reader's fail
+// flag instead of reading garbage. section_crc is the v3 section seal (CRC
+// over id + size + payload) both formats use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "balance/load_balancer.hpp"
+#include "machine/machine.hpp"
+#include "octree/octree.hpp"
+#include "state/serial.hpp"
+#include "util/vec3.hpp"
+
+namespace afmm::ckpt {
+
+void put_vec3(ByteWriter& w, const Vec3& v);
+Vec3 get_vec3(ByteReader& r);
+
+void put_vec3s(ByteWriter& w, const std::vector<Vec3>& v);
+bool get_vec3s(ByteReader& r, std::vector<Vec3>& out);
+
+void put_f64s(ByteWriter& w, const std::vector<double>& v);
+bool get_f64s(ByteReader& r, std::vector<double>& out);
+
+void put_u64s(ByteWriter& w, const std::vector<std::uint64_t>& v);
+bool get_u64s(ByteReader& r, std::vector<std::uint64_t>& out);
+
+void put_u32s(ByteWriter& w, const std::vector<std::uint32_t>& v);
+bool get_u32s(ByteReader& r, std::vector<std::uint32_t>& out);
+
+void put_observed(ByteWriter& w, const ObservedStepTimes& t);
+ObservedStepTimes get_observed(ByteReader& r);
+
+void put_tree(ByteWriter& w, const OctreeSnapshot& t);
+bool get_tree(ByteReader& r, OctreeSnapshot& t);
+
+void put_balancer(ByteWriter& w, const LoadBalancerSnapshot& b);
+bool get_balancer(ByteReader& r, LoadBalancerSnapshot& b);
+
+void put_health(ByteWriter& w, const MachineHealth& h);
+bool get_health(ByteReader& r, MachineHealth& h);
+
+// v3 section seal: CRC over the section header (id, size) AND the payload.
+std::uint32_t section_crc(std::uint32_t id,
+                          std::span<const std::uint8_t> payload);
+
+}  // namespace afmm::ckpt

@@ -106,7 +106,11 @@ class ByteReader {
 };
 
 // CRC-32 (IEEE 802.3, reflected 0xEDB88320), table generated on first use.
-inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+// crc32_extend chains the computation over non-contiguous spans: feed the
+// previous call's (finalized) result back in as `crc`, starting from 0 --
+// crc32_extend(0, a ++ b) == crc32_extend(crc32_extend(0, a), b).
+inline std::uint32_t crc32_extend(std::uint32_t crc,
+                                  std::span<const std::uint8_t> data) {
   static const auto table = [] {
     std::array<std::uint32_t, 256> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
@@ -117,9 +121,13 @@ inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
     }
     return t;
   }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::uint8_t b : data) crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
-  return crc ^ 0xFFFFFFFFu;
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_extend(0, data);
 }
 
 }  // namespace afmm

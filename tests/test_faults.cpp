@@ -73,14 +73,41 @@ TEST(FaultInjector, EpochIncrementsOnEveryAppliedEvent) {
   MachineHealth health;
   health.reset(2, 8);
 
-  EXPECT_EQ(health.fault_epoch, 0u);
+  const std::uint64_t base = health.fault_epoch;
   inj.advance_to(1, health);
-  EXPECT_EQ(health.fault_epoch, 2u);
+  EXPECT_EQ(health.fault_epoch, base + 2);
   inj.advance_to(2, health);
-  EXPECT_EQ(health.fault_epoch, 3u);
+  EXPECT_EQ(health.fault_epoch, base + 3);
   // No further events: the epoch freezes even as steps keep advancing.
   inj.advance_to(10, health);
-  EXPECT_EQ(health.fault_epoch, 3u);
+  EXPECT_EQ(health.fault_epoch, base + 3);
+}
+
+TEST(FaultInjector, EpochIsMonotonicAcrossHealthReset) {
+  // Regression: reset() used to zero fault_epoch, so after a
+  // checkpoint-restore-then-reset sequence the epoch re-walked values it had
+  // already produced. An observer holding "last epoch seen" compared equal
+  // against a genuinely different machine state and missed the shift.
+  FaultSchedule sched;
+  sched.gpu_loss(1, 0);
+  MachineHealth health;
+  health.reset(2, 8);
+  {
+    FaultInjector inj(sched);
+    inj.advance_to(1, health);
+  }
+  const std::uint64_t seen = health.fault_epoch;  // observer's stored epoch
+
+  // Re-provision (the restore-then-reset path) and replay the same schedule.
+  health.reset(2, 8);
+  EXPECT_GT(health.fault_epoch, seen)
+      << "reset() must advance the epoch, not rewind it";
+  FaultInjector inj(sched);
+  inj.advance_to(1, health);
+  // The GPU is dead again -- a real shift -- and the epoch must NOT collide
+  // with the value the observer already saw.
+  EXPECT_FALSE(health.gpus[0].alive);
+  EXPECT_GT(health.fault_epoch, seen);
 }
 
 TEST(FaultInjector, PreemptionAndRestore) {

@@ -18,11 +18,20 @@ step, non-empty metric name, finite value), non-decreasing step numbers,
 no duplicate (step, metric) pairs, and an identical metric set on every
 step -- a truncated or interleaved export fails.
 
+With --cluster-nodes N the trace must additionally carry one "node<k>"
+track per cluster node (k = 0..N-1) plus the "cluster" marker track, and
+the metrics CSV must sample the cluster.* instruments. Cluster crash
+recovery REWINDS the inner step counter (restore + replay), so in this
+mode step numbers may decrease between groups and a step may be sampled
+more than once; each contiguous group must still be internally consistent
+(no duplicate metric within a group, identical metric set across groups).
+
 Exit 0 on success; nonzero with a message on the first violation. Stdlib
 only, so it runs anywhere CI has a python3.
 
 Usage: tools/validate_trace.py results/trace_demo.json \
-           [--require step,fault] [--metrics results/trace_demo_metrics.csv]
+           [--require step,fault] [--metrics results/trace_demo_metrics.csv] \
+           [--cluster-nodes 3]
 """
 
 import argparse
@@ -32,6 +41,21 @@ import sys
 
 DEFAULT_REQUIRED = "step,tree,balancer,expansion,p2p,transfer,fault,state"
 VALID_PHASES = {"X", "i", "C", "M"}
+# Instruments the cluster layer registers up front (cluster/cluster.cpp);
+# every one must appear in a cluster run's metric set.
+CLUSTER_METRICS = (
+    "cluster.halo.bytes_total",
+    "cluster.halo.retries_total",
+    "cluster.halo.timeouts_total",
+    "cluster.migrations_total",
+    "cluster.recoveries_total",
+    "cluster.nodes.alive",
+    "cluster.nodes.suspected",
+    "cluster.nodes.dead",
+    "cluster.halo.bytes",
+    "cluster.halo.messages",
+    "cluster.halo.seconds",
+)
 
 
 def fail(msg: str) -> None:
@@ -39,8 +63,15 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def check_metrics(path: str, min_steps: int) -> None:
-    """Validate a MetricsRegistry CSV export (obs/metrics.hpp)."""
+def check_metrics(path: str, min_steps: int, cluster_nodes: int) -> None:
+    """Validate a MetricsRegistry CSV export (obs/metrics.hpp).
+
+    With cluster_nodes > 0 a step REWIND between groups is legal (crash
+    recovery restores an older checkpoint and replays), so the same step
+    may appear in more than one contiguous group; the cluster.* instrument
+    set must also be present.
+    """
+    allow_rewind = cluster_nodes > 0
     try:
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
@@ -53,8 +84,8 @@ def check_metrics(path: str, min_steps: int) -> None:
     if len(lines) < 2:
         fail(f"{path}: no metric rows")
 
-    per_step = {}   # step -> set of metric names
-    prev_step = -1
+    groups = []     # contiguous (step, set-of-metric-names) runs
+    prev_step = None
     for lineno, line in enumerate(lines[1:], start=2):
         parts = line.split(",")
         if len(parts) != 3:
@@ -66,10 +97,10 @@ def check_metrics(path: str, min_steps: int) -> None:
             fail(f"{path}:{lineno}: non-integer step {raw_step!r}")
         if step < 0:
             fail(f"{path}:{lineno}: negative step {step}")
-        if step < prev_step:
+        if prev_step is not None and step < prev_step and not allow_rewind:
             fail(f"{path}:{lineno}: step {step} after step {prev_step} "
-                 "(rows must be grouped by non-decreasing step)")
-        prev_step = step
+                 "(rows must be grouped by non-decreasing step; pass "
+                 "--cluster-nodes for recovery rewinds)")
         if not metric:
             fail(f"{path}:{lineno}: empty metric name")
         try:
@@ -78,28 +109,48 @@ def check_metrics(path: str, min_steps: int) -> None:
             fail(f"{path}:{lineno}: non-numeric value {raw_value!r}")
         if not math.isfinite(value):
             fail(f"{path}:{lineno}: non-finite value {raw_value!r}")
-        names = per_step.setdefault(step, set())
+        if step != prev_step:
+            groups.append((step, set()))
+            prev_step = step
+        elif metric in groups[-1][1]:
+            # Same step, metric seen again: a replayed group after a
+            # recovery rewound the step counter to exactly where it was.
+            if not allow_rewind:
+                fail(f"{path}:{lineno}: duplicate metric {metric!r} "
+                     f"for step {step}")
+            groups.append((step, set()))
+        names = groups[-1][1]
         if metric in names:
             fail(f"{path}:{lineno}: duplicate metric {metric!r} "
                  f"for step {step}")
         names.add(metric)
 
-    # Every step samples the same metric set: a partial step means the
-    # export was truncated or the emitter skipped a sink.
-    steps = sorted(per_step)
-    reference = per_step[steps[0]]
-    for step in steps[1:]:
-        diff = per_step[step] ^ reference
+    # Every sampled group carries the same metric set: a partial group means
+    # the export was truncated or the emitter skipped a sink. (In cluster
+    # mode a step can legally appear in two groups -- once before a crash,
+    # once replayed -- so groups, not steps, are compared.)
+    reference = groups[0][1]
+    for step, names in groups[1:]:
+        diff = names ^ reference
         if diff:
             fail(f"{path}: step {step} metric set differs from step "
-                 f"{steps[0]}'s on: {', '.join(sorted(diff))}")
+                 f"{groups[0][0]}'s on: {', '.join(sorted(diff))}")
 
-    if len(steps) < min_steps:
-        fail(f"{path}: only {len(steps)} steps sampled "
+    if cluster_nodes > 0:
+        missing = [m for m in CLUSTER_METRICS if m not in reference]
+        if missing:
+            fail(f"{path}: cluster run missing metrics: "
+                 f"{', '.join(missing)}")
+
+    distinct = len({step for step, _ in groups})
+    if distinct < min_steps:
+        fail(f"{path}: only {distinct} steps sampled "
              f"(--min-metric-steps {min_steps})")
 
+    rewinds = len(groups) - distinct
+    suffix = f" ({rewinds} recovery rewind groups)" if rewinds else ""
     print(f"validate_trace: OK: {len(lines) - 1} metric rows over "
-          f"{len(steps)} steps, {len(reference)} metrics per step")
+          f"{distinct} steps, {len(reference)} metrics per step{suffix}")
 
 
 def main() -> None:
@@ -126,6 +177,15 @@ def main() -> None:
         help="fail unless the metrics CSV covers at least N steps "
         "(catches truncated exports; default 1)",
     )
+    ap.add_argument(
+        "--cluster-nodes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="validate a cluster run: require node0..node<N-1> and "
+        "'cluster' trace tracks, require the cluster.* metrics, and "
+        "tolerate recovery step rewinds in the metrics CSV",
+    )
     args = ap.parse_args()
 
     try:
@@ -142,6 +202,7 @@ def main() -> None:
 
     named_tracks = set()   # (pid, tid) with a thread_name metadata event
     named_pids = set()     # pid with a process_name metadata event
+    track_names = set()    # thread_name metadata args.name values
     used_tracks = set()
     categories = {}
     for i, e in enumerate(events):
@@ -159,6 +220,9 @@ def main() -> None:
                 named_pids.add(e["pid"])
             elif e["name"] == "thread_name":
                 named_tracks.add((e["pid"], e["tid"]))
+                name = e.get("args", {}).get("name")
+                if isinstance(name, str):
+                    track_names.add(name)
             continue
         ts = e.get("ts")
         if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
@@ -187,13 +251,21 @@ def main() -> None:
         fail(f"missing required categories: {', '.join(missing)} "
              f"(present: {', '.join(sorted(categories))})")
 
+    if args.cluster_nodes > 0:
+        wanted = [f"node{k}" for k in range(args.cluster_nodes)] + ["cluster"]
+        absent = [t for t in wanted if t not in track_names]
+        if absent:
+            fail(f"cluster run missing tracks: {', '.join(absent)} "
+                 f"(present: {', '.join(sorted(track_names))})")
+
     n = sum(categories.values())
     cats = ", ".join(f"{k}={v}" for k, v in sorted(categories.items()))
     print(f"validate_trace: OK: {n} events on {len(used_tracks)} tracks "
           f"({cats})")
 
     if args.metrics is not None:
-        check_metrics(args.metrics, args.min_metric_steps)
+        check_metrics(args.metrics, args.min_metric_steps,
+                      args.cluster_nodes)
 
 
 if __name__ == "__main__":
