@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "sdc/sdc.hpp"
 #include "state/serial.hpp"
 
 namespace afmm {
@@ -117,6 +118,9 @@ void ClusterEngine<Problem>::init_metrics() {
   m->set_gauge("cluster.halo.bytes", 0.0);
   m->set_gauge("cluster.halo.messages", 0.0);
   m->set_gauge("cluster.halo.seconds", 0.0);
+  m->add_counter("cluster.sdc.injected_total", 0.0);
+  m->add_counter("cluster.sdc.detected_total", 0.0);
+  m->add_counter("cluster.sdc.repairs_total", 0.0);
 }
 
 template <class Problem>
@@ -220,6 +224,10 @@ ClusterStepRecord ClusterEngine<Problem>::step() {
   if (new_death && store_) {
     if (auto sc = store_->load_latest()) {
       inner_.restore(sc->global);
+      // The cluster injector's cursor stays put (fired events remain
+      // applied); the replayed steps only need the nondecreasing-step guard
+      // re-armed for the deliberate rewind.
+      injector_.acknowledge_rewind();
       rec.recovered = true;
       rec.restored_step = sc->global.step;
       ++recoveries_;
@@ -250,8 +258,37 @@ ClusterStepRecord ClusterEngine<Problem>::step() {
   // state only suspected-but-undetected crashes generate timeouts.
   const auto& lists = inner_.list_cache().get(inner_.tree(),
                                               engine_config_.fmm.traversal);
-  const HaloPlan plan = build_halo_plan(inner_.tree(), lists, map_,
-                                        cluster_.multipole_doubles);
+  HaloPlan plan = build_halo_plan(inner_.tree(), lists, map_,
+                                  cluster_.multipole_doubles);
+
+  // 5a. Halo-payload SDC (sdc/): a pending kSdcHaloPayload corrupts one
+  // in-flight message after the plan is built (the "send") and before it is
+  // applied. The receiver's defense is the payload checksum: the plan is a
+  // pure function of (tree, lists, map), so every node recomputes the same
+  // sums independently; a mismatch is repaired by re-requesting the message
+  // (one extra link transfer charged below).
+  const SdcPending halo_pend = cluster_health_.sdc;
+  cluster_health_.sdc.clear();
+  if (halo_pend.halo_payload && !plan.messages.empty()) {
+    HaloMessage& victim =
+        plan.messages[sdc_pick(halo_pend.halo_seed, plan.messages.size())];
+    victim.payload_check ^= 1ull << (sdc_mix(halo_pend.halo_seed >> 7) % 64);
+    ++rec.sdc_injected;
+  }
+  if (cluster_.sdc_halo_checks) {
+    const HaloPlan want = build_halo_plan(inner_.tree(), lists, map_,
+                                          cluster_.multipole_doubles);
+    for (std::size_t i = 0; i < plan.messages.size(); ++i) {
+      if (plan.messages[i].payload_check == want.messages[i].payload_check)
+        continue;
+      ++rec.sdc_detected;
+      plan.messages[i] = want.messages[i];  // re-request from the sender
+      rec.sdc_repair_seconds +=
+          cluster_transfer_seconds(cluster_.link, plan.messages[i].bytes);
+      ++rec.sdc_repaired;
+    }
+  }
+
   std::vector<double> drop(nodes_.size(), 0.0);
   std::vector<char> silent(nodes_.size(), 0);
   for (std::size_t k = 0; k < nodes_.size(); ++k) {
@@ -267,7 +304,7 @@ ClusterStepRecord ClusterEngine<Problem>::step() {
   rec.halo_messages = static_cast<int>(plan.messages.size());
   rec.halo_retries = xch.retries;
   rec.halo_timeouts = xch.timeouts;
-  rec.halo_seconds = xch.seconds;
+  rec.halo_seconds = xch.seconds + rec.sdc_repair_seconds;
 
   // 6. Metrics land BEFORE the inner step so this step's sampled rows carry
   // this step's halo/membership values.
@@ -284,7 +321,10 @@ ClusterStepRecord ClusterEngine<Problem>::step() {
     m->set_gauge("cluster.halo.bytes", static_cast<double>(plan.total_bytes));
     m->set_gauge("cluster.halo.messages",
                  static_cast<double>(plan.messages.size()));
-    m->set_gauge("cluster.halo.seconds", xch.seconds);
+    m->set_gauge("cluster.halo.seconds", rec.halo_seconds);
+    m->add_counter("cluster.sdc.injected_total", rec.sdc_injected);
+    m->add_counter("cluster.sdc.detected_total", rec.sdc_detected);
+    m->add_counter("cluster.sdc.repairs_total", rec.sdc_repaired);
   }
 
   // 7. The global physics step (read-only from the cluster's perspective).
@@ -329,6 +369,11 @@ ClusterStepRecord ClusterEngine<Problem>::step() {
     if (rec.recovered)
       tr->instant(TraceRecorder::kVirtualPid, "cluster", "recover", "cluster",
                   t0, {TraceArg::num("restored_step", rec.restored_step)});
+    if (rec.sdc_repaired > 0)
+      tr->instant(TraceRecorder::kVirtualPid, "cluster", "sdc-repair", "sdc",
+                  t0,
+                  {TraceArg::num("messages", rec.sdc_repaired),
+                   TraceArg::num("seconds", rec.sdc_repair_seconds)});
   }
 
   // 9. Coordinated checkpoint: only when no crash is being suspected --
@@ -366,7 +411,7 @@ std::vector<ClusterStepRecord> ClusterEngine<Problem>::run_to(
 template <class Problem>
 std::vector<std::uint8_t> ClusterEngine<Problem>::encode_cluster_blob() const {
   ByteWriter w;
-  w.u32(1);  // blob version
+  w.u32(2);  // blob version (v2: injector fired high-water mark)
   w.u64(nodes_.size());
   for (const auto& n : nodes_) {
     w.u8(n.crashed ? 1 : 0);
@@ -380,6 +425,7 @@ std::vector<std::uint8_t> ClusterEngine<Problem>::encode_cluster_blob() const {
   w.u64(snap.next_event);
   w.i32(snap.transfer_window_end);
   w.u64(snap.num_events);
+  w.u64(snap.fired_mark);
   w.u64(cluster_health_.fault_epoch);
   return w.take();
 }
@@ -388,7 +434,7 @@ template <class Problem>
 void ClusterEngine<Problem>::restore_cluster_blob(
     const std::vector<std::uint8_t>& blob) {
   ByteReader r(blob);
-  if (r.u32() != 1)
+  if (r.u32() != 2)
     throw std::invalid_argument("cluster blob: unknown version");
   if (r.u64() != nodes_.size())
     throw std::invalid_argument("cluster blob: node count mismatch");
@@ -408,6 +454,7 @@ void ClusterEngine<Problem>::restore_cluster_blob(
   snap.next_event = r.u64();
   snap.transfer_window_end = r.i32();
   snap.num_events = r.u64();
+  snap.fired_mark = r.u64();
   cluster_health_.fault_epoch = r.u64();
   if (!r.ok() || r.remaining() != 0)
     throw std::invalid_argument("cluster blob: truncated or oversized");

@@ -67,6 +67,11 @@ struct ClusterConfig {
   int checkpoint_interval = 0;
   std::string checkpoint_dir;
   int checkpoint_keep = 2;
+  // Verify every halo message's payload checksum at the receiver before
+  // application (sdc/); a mismatch is repaired by a re-request charged one
+  // extra link transfer. Verification is read-only over the physics, so
+  // fault-free runs stay bit-identical with it on or off.
+  bool sdc_halo_checks = true;
 };
 
 struct ClusterStepRecord {
@@ -92,6 +97,12 @@ struct ClusterStepRecord {
   bool recovered = false;           // restored from the shard store
   int restored_step = -1;
   bool checkpointed = false;        // coordinated shard save after this step
+  // Halo-payload SDC activity (cluster-scoped; the inner record carries the
+  // machine-scoped counts).
+  int sdc_injected = 0;
+  int sdc_detected = 0;
+  int sdc_repaired = 0;
+  double sdc_repair_seconds = 0.0;  // retransmit time charged to the halo
   // Per-node virtual compute share of the inner step (empty ranges get 0).
   std::vector<double> node_compute_seconds;
 };

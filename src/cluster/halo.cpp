@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sdc/sdc.hpp"
+
 namespace afmm {
 
 namespace {
@@ -10,6 +12,19 @@ namespace {
 // Zero-count nodes contribute no halo traffic and are skipped by callers.
 int owner(const AdaptiveOctree& tree, const ShardMap& map, int id) {
   return map.owner_of(tree.node(id).begin);
+}
+
+// Payload-checksum contribution of one shipped item (leaf bodies or one
+// multipole expansion): a mix of the node descriptor that pins down exactly
+// which bytes go on the wire. XOR-folded per (src, dst) pair, so aggregation
+// order does not matter.
+std::uint64_t item_check(const AdaptiveOctree& tree, int node, bool bodies) {
+  const auto& n = tree.node(node);
+  std::uint64_t h = sdc_mix(static_cast<std::uint64_t>(node) * 2 +
+                            (bodies ? 1 : 0));
+  h ^= sdc_mix(h ^ n.begin);
+  h ^= sdc_mix(h ^ n.count);
+  return h;
 }
 
 }  // namespace
@@ -62,11 +77,13 @@ HaloPlan build_halo_plan(const AdaptiveOctree& tree,
   pole_pairs.erase(std::unique(pole_pairs.begin(), pole_pairs.end()),
                    pole_pairs.end());
 
-  // Aggregate bytes per ordered (src shard, dst shard) pair.
+  // Aggregate bytes (and the payload checksum) per ordered (src shard, dst
+  // shard) pair.
   std::vector<std::uint64_t> pair_bytes(
       static_cast<std::size_t>(num_shards) *
           static_cast<std::size_t>(num_shards),
       0);
+  std::vector<std::uint64_t> pair_check(pair_bytes.size(), 0);
   const std::uint64_t pole_bytes =
       static_cast<std::uint64_t>(multipole_doubles) * 8;
   for (std::uint64_t p : body_pairs) {
@@ -74,19 +91,23 @@ HaloPlan build_halo_plan(const AdaptiveOctree& tree,
     const int dst = static_cast<int>(p % static_cast<std::uint64_t>(num_shards));
     const int src = owner(tree, map, node);
     const std::uint64_t bodies = tree.node(node).count;
+    const std::size_t pair = static_cast<std::size_t>(src) *
+                                 static_cast<std::size_t>(num_shards) +
+                             static_cast<std::size_t>(dst);
     plan.body_halo += bodies;
-    pair_bytes[static_cast<std::size_t>(src) *
-                   static_cast<std::size_t>(num_shards) +
-               static_cast<std::size_t>(dst)] += bodies * kHaloBodyBytes;
+    pair_bytes[pair] += bodies * kHaloBodyBytes;
+    pair_check[pair] ^= item_check(tree, node, /*bodies=*/true);
   }
   for (std::uint64_t p : pole_pairs) {
     const int node = static_cast<int>(p / static_cast<std::uint64_t>(num_shards));
     const int dst = static_cast<int>(p % static_cast<std::uint64_t>(num_shards));
     const int src = owner(tree, map, node);
+    const std::size_t pair = static_cast<std::size_t>(src) *
+                                 static_cast<std::size_t>(num_shards) +
+                             static_cast<std::size_t>(dst);
     ++plan.multipole_halo;
-    pair_bytes[static_cast<std::size_t>(src) *
-                   static_cast<std::size_t>(num_shards) +
-               static_cast<std::size_t>(dst)] += pole_bytes;
+    pair_bytes[pair] += pole_bytes;
+    pair_check[pair] ^= item_check(tree, node, /*bodies=*/false);
   }
 
   for (int src = 0; src < num_shards; ++src)
@@ -103,6 +124,9 @@ HaloPlan build_halo_plan(const AdaptiveOctree& tree,
       m.key = static_cast<std::uint64_t>(src) *
                   static_cast<std::uint64_t>(num_shards) +
               static_cast<std::uint64_t>(dst);
+      m.payload_check = pair_check[static_cast<std::size_t>(src) *
+                                       static_cast<std::size_t>(num_shards) +
+                                   static_cast<std::size_t>(dst)];
       plan.messages.push_back(m);
       plan.total_bytes += bytes;
     }

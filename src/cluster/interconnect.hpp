@@ -39,6 +39,12 @@ struct HaloMessage {
   int dst = 0;
   std::uint64_t bytes = 0;
   std::uint64_t key = 0;
+  // ABFT checksum of the payload this message carries (sdc/): an XOR-fold
+  // over the descriptors of every deduplicated leaf / multipole expansion
+  // aggregated into it. The plan is a pure function of (tree, lists, map),
+  // so the receiver recomputes the same value independently and a corrupted
+  // payload is detected before application and re-requested.
+  std::uint64_t payload_check = 0;
 };
 
 struct ExchangeOutcome {

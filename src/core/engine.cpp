@@ -8,6 +8,27 @@
 
 namespace afmm {
 
+namespace {
+
+// The localized SDC repair rung only applies when every violation is one the
+// Problem can fix by re-deriving state from primary data (checksum mismatch,
+// sampled direct-sum / momentum trips, non-finite derived arrays). A
+// structural or cost-model violation means the corruption is outside the
+// Problem's state and goes straight to rollback.
+bool sdc_repairable(const AuditReport& report) {
+  if (report.violations.empty()) return false;
+  for (const auto& v : report.violations)
+    if (v.find("state checksum mismatch") == std::string::npos &&
+        v.find("force audit") == std::string::npos &&
+        v.find("stokes audit") == std::string::npos &&
+        v.find("momentum audit") == std::string::npos &&
+        v.find("is not finite") == std::string::npos)
+      return false;
+  return true;
+}
+
+}  // namespace
+
 template <class Problem>
 SimulationEngine<Problem>::SimulationEngine(const EngineConfig& config,
                                             Problem problem)
@@ -91,13 +112,35 @@ StepRecord SimulationEngine<Problem>::step() {
       (rz.audit.interval > 0 && step_count_ % rz.audit.interval == 0) ||
       checkpoint_due;  // never snapshot state that has not passed an audit
   bool failed = rec.watchdog_tripped;
+  if (rec.sdc_unrepaired > 0) {
+    // An in-solve detector caught a corruption its local rung could not fix
+    // bit-exactly; the result is untrustworthy, escalate.
+    rec.sdc_escalated = true;
+    failed = true;
+  }
   if (!failed && audit_due) {
     rec.audited = true;
-    rec.audit_failed = !run_audit().ok();
+    const AuditReport report = run_audit();
+    rec.audit_failed = !report.ok();
+    if (rec.audit_failed && rz.sdc_repair && sdc_repairable(report)) {
+      // Repair ladder, middle rung: re-derive the Problem's derived arrays
+      // from primary state, then re-audit against the stored (clean)
+      // checksum to prove the repair is bit-exact. Only a failed proof
+      // escalates to the rollback rung below.
+      ++rec.sdc_detected;
+      if (problem_.repair_derived(tree_) && run_audit().ok()) {
+        rec.audit_failed = false;
+        ++rec.sdc_repaired;
+      } else {
+        ++rec.sdc_unrepaired;
+        rec.sdc_escalated = true;
+      }
+    }
     failed = rec.audit_failed;
   }
   if (failed && rz.rollback_on_failure) {
     roll_back(rec);
+    if (rec.rolled_back && rec.sdc_escalated) ++sdc_rollbacks_;
   } else if (!failed && checkpoint_due) {
     last_good_ = checkpoint();
     if (store_) store_->save(*last_good_);
@@ -180,6 +223,20 @@ StepRecord SimulationEngine<Problem>::step_core() {
   problem_.post_solve(config_.dt);
   last_observed_ = res.times;
 
+  // SDC bookkeeping: fold the solve's injections / ABFT detections / repairs
+  // into the record, then apply any pending bit-flip to the state post_solve
+  // just finished writing and checksumming -- the stored sum still names the
+  // clean bytes, so the next audit's recomputation mismatches.
+  rec.sdc_injected += res.sdc.injected;
+  rec.sdc_detected += res.sdc.detected;
+  rec.sdc_repaired += res.sdc.repaired;
+  rec.sdc_unrepaired += res.sdc.unrepaired;
+  if (health.sdc.bit_flip) {
+    problem_.apply_sdc_bit_flip(health.sdc.bit_flip_seed);
+    ++rec.sdc_injected;
+  }
+  health.sdc.clear();  // pending corruption never outlives its step
+
   rec.compute_seconds = res.times.compute_seconds();
   rec.cpu_seconds = res.times.cpu_seconds;
   rec.gpu_seconds = res.times.gpu_seconds;
@@ -250,14 +307,21 @@ void SimulationEngine<Problem>::roll_back(StepRecord& rec) {
   if (!good) return;  // nowhere to go; the record keeps its failure flags
 
   restore(*good);
-  // The snapshot passed its audit, but rebuild the tree from scratch at the
-  // restored S anyway: rollback is rare, a rebuild is cheap insurance against
-  // corruption that slipped past the structural checks, and the balancer is
-  // about to re-learn the machine regardless.
-  TreeConfig tc = config_.tree;
-  tc.leaf_capacity = balancer_.current_S();
-  tree_.build(problem_.positions(), tc);
-  balancer_.reenter_search();
+  if (!rec.sdc_escalated) {
+    // Fail-stop rollback: the fault may have corrupted memory beyond the
+    // structural checks and changed machine capability, so rebuild the tree
+    // from scratch at the restored S (cheap insurance) and send the balancer
+    // back into its S search to re-learn the machine.
+    TreeConfig tc = config_.tree;
+    tc.leaf_capacity = balancer_.current_S();
+    tree_.build(problem_.positions(), tc);
+    balancer_.reenter_search();
+  }
+  // SDC escalation says nothing about the machine: the data was bad, not the
+  // hardware. Keep the checksummed snapshot's tree (its structure descends
+  // from the same rebin history as the fault-free run) and the balancer's
+  // converged S -- a from-scratch rebuild or renewed search would perturb
+  // the association order and break bit-identical replay.
   initial_solve();
 
   rec.rolled_back = true;

@@ -122,6 +122,15 @@ struct StepRecord {
   bool rolled_back = false;      // recovered from the last good checkpoint
   int restored_step = -1;        // step the rollback restored to
   bool checkpointed = false;     // a snapshot was taken after this step
+  // Silent-data-corruption bookkeeping (sdc/): events injected this step,
+  // detections across all ABFT surfaces (solver checksums + engine audits),
+  // localized repairs that verified bit-exact, and corruptions no localized
+  // rung could fix (these escalate to rollback when enabled).
+  int sdc_injected = 0;
+  int sdc_detected = 0;
+  int sdc_repaired = 0;
+  int sdc_unrepaired = 0;
+  bool sdc_escalated = false;    // repair ladder exhausted -> rollback path
 };
 
 // What every Problem's solve hands back to the engine: the machine-model
@@ -133,6 +142,8 @@ struct SolveOutcome {
   GpuRunResult gpu;
   SolveStats stats;
   std::shared_ptr<OpTimers> real_timings;
+  // SDC activity inside the solve (injections, ABFT detections, repairs).
+  SdcReport sdc;
 };
 
 template <class Problem>
@@ -194,6 +205,10 @@ class SimulationEngine {
 
   // Rollbacks performed so far, and the on-disk store when one is configured.
   int rollbacks() const { return rollbacks_; }
+  // Rollbacks attributable to the SDC repair ladder escalating (subset of
+  // rollbacks(); the acceptance gates assert this stays 0 when localized
+  // repair suffices).
+  int sdc_rollbacks() const { return sdc_rollbacks_; }
   const CheckpointStore* store() const { return store_ ? &*store_ : nullptr; }
 
   // Chaos hook: silent structural corruption for auditor/recovery tests.
@@ -223,6 +238,7 @@ class SimulationEngine {
   std::optional<CheckpointStore> store_;
   std::optional<SimCheckpoint> last_good_;
   int rollbacks_ = 0;
+  int sdc_rollbacks_ = 0;
 
   // Observability state (null / unused while config_.obs is disabled). The
   // pending struct carries what step_core saw, so emission can run at the

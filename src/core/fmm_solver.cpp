@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace afmm {
@@ -18,7 +19,7 @@ void HarmonicFarField::evaluate(const AdaptiveOctree& tree,
                                 const InteractionLists& lists,
                                 std::span<const std::vector<double>> charges,
                                 std::vector<std::vector<PointValue>>& out,
-                                OpTimers* timers) const {
+                                OpTimers* timers, const SdcHooks* sdc) const {
   const int nrhs = static_cast<int>(charges.size());
   const std::size_t nbody = tree.num_bodies();
   for (const auto& q : charges)
@@ -149,11 +150,137 @@ void HarmonicFarField::evaluate(const AdaptiveOctree& tree,
 #pragma omp taskwait
   };
 
+  // ---- SDC guard between the sweeps (sdc/): the multipoles are complete
+  // and the downward pass has not consumed them yet, so this is the one
+  // point where a corrupted expansion can be caught and surgically repaired
+  // before it fans out into every local expansion under the MAC.
+  //
+  // Detection is layered: (a) a per-node checksum taken right after the
+  // upsweep (production time) and re-verified here catches ANY flipped bit
+  // and doubles as the bit-exact repair target; (b) the monopole consistency
+  // tripwire (parent monopole == in-order sum of children's -- exact, see
+  // operators.hpp) and (c) the optional full M2M re-aggregation check catch
+  // corruption that happens where checksums can't see (e.g. a miscomputed
+  // M2M itself). Repair re-runs the corrupted subtree's upward pass from
+  // the still-intact bodies/charges and re-verifies against the stored
+  // checksum. All of this only READS clean data, so fault-free evaluates
+  // are bit-identical with the guard on or off.
+  auto sdc_guard = [&](auto&& run_upsweep) {
+    const SdcDetectConfig* det = sdc->detect;
+    const bool checks = det && (det->expansion_checks ||
+                                det->expansion_reaggregation);
+    // Effective nodes with bodies, preorder (parents before children).
+    std::vector<int> eff;
+    {
+      std::vector<int> stack{tree.root()};
+      while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        const OctreeNode& n = tree.node(id);
+        if (n.count == 0) continue;
+        eff.push_back(id);
+        if (tree.is_effective_leaf(id)) continue;
+        for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
+          stack.push_back(*it);
+      }
+    }
+    if (eff.empty()) return;
+
+    std::vector<std::uint64_t> sums;
+    if (checks) {
+      sums.resize(eff.size());
+      for (std::size_t i = 0; i < eff.size(); ++i)
+        sums[i] = sdc_checksum_bytes(M.data() + per_node * eff[i],
+                                     per_node * sizeof(double));
+    }
+
+    if (sdc->inject) {
+      // kSdcExpansion: flip one mantissa/exponent bit of one coefficient of
+      // one deterministic victim node -- after the checksums were taken,
+      // exactly like device memory rotting between production and use.
+      const int id = eff[sdc_pick(sdc->seed, eff.size())];
+      double* block = M.data() + per_node * id;
+      sdc_flip_double_bit(block[sdc_pick(sdc->seed >> 17, per_node)],
+                          static_cast<int>(sdc->seed >> 33));
+      if (sdc->report) ++sdc->report->injected;
+    }
+    if (!checks) return;
+
+    std::vector<char> bad(eff.size(), 0);
+    bool any_checksum_bad = false;
+    for (std::size_t i = 0; i < eff.size(); ++i) {
+      if (sdc_checksum_bytes(M.data() + per_node * eff[i],
+                             per_node * sizeof(double)) != sums[i]) {
+        bad[i] = 1;
+        any_checksum_bad = true;
+      }
+    }
+
+    // Consistency tripwires: only when the checksums saw nothing -- a
+    // checksum-flagged child would otherwise also trip its parent's
+    // re-aggregation and double-count one corruption as two.
+    if (!any_checksum_bad) {
+      std::vector<const double*> child_M;
+      std::vector<Vec3> child_centers;
+      std::vector<double> scratch;
+      for (std::size_t i = 0; i < eff.size(); ++i) {
+        const int id = eff[i];
+        if (tree.is_effective_leaf(id)) continue;
+        const OctreeNode& n = tree.node(id);
+        for (int r = 0; r < nrhs && !bad[i]; ++r) {
+          child_M.clear();
+          child_centers.clear();
+          for (int c : n.children) {
+            if (tree.node(c).count == 0) continue;
+            child_M.push_back(mcoef(c, r));
+            child_centers.push_back(tree.node(c).center);
+          }
+          if (det->expansion_checks &&
+              ctx_.reaggregated_monopole(child_M.data(),
+                                         static_cast<int>(child_M.size())) !=
+                  mcoef(id, r)[0])
+            bad[i] = 1;
+          if (!bad[i] && det->expansion_reaggregation &&
+              !ctx_.m2m_reaggregation_matches(
+                  child_centers.data(), child_M.data(),
+                  static_cast<int>(child_M.size()), n.center, mcoef(id, r),
+                  scratch))
+            bad[i] = 1;
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < eff.size(); ++i) {
+      if (!bad[i]) continue;
+      if (sdc->report) ++sdc->report->detected;
+      // Surgical repair: zero the effective subtree's multipoles and re-run
+      // just its upward pass from the intact bodies/charges.
+      auto zero_subtree = [&](auto&& self, int id) -> void {
+        const OctreeNode& n = tree.node(id);
+        if (n.count == 0) return;
+        std::fill_n(M.data() + per_node * id, per_node, 0.0);
+        if (tree.is_effective_leaf(id)) return;
+        for (int c : n.children) self(self, c);
+      };
+      zero_subtree(zero_subtree, eff[i]);
+      run_upsweep(eff[i]);
+      const bool fixed = sdc_checksum_bytes(M.data() + per_node * eff[i],
+                                            per_node * sizeof(double)) ==
+                         sums[i];
+      if (sdc->report) ++(fixed ? sdc->report->repaired
+                                : sdc->report->unrepaired);
+    }
+  };
+
   if (tree.empty()) return;
 #pragma omp parallel
 #pragma omp single
   {
     upsweep(upsweep, tree.root());
+    if (sdc && (sdc->inject ||
+                (sdc->detect && (sdc->detect->expansion_checks ||
+                                 sdc->detect->expansion_reaggregation))))
+      sdc_guard([&](int id) { upsweep(upsweep, id); });
     downsweep(downsweep, tree.root());
   }
 }
@@ -186,11 +313,20 @@ GravityResult GravitySolver::solve(const AdaptiveOctree& tree,
   std::vector<double> q_tree;
   tree.gather(charges, q_tree);
 
+  GravityResult res;
+  const SdcDetectConfig& det = far_.config().sdc;
+  const SdcPending pending = node_.health().sdc;
+
   std::vector<std::vector<double>> rhs{q_tree};
   std::vector<std::vector<PointValue>> far_out;
   std::shared_ptr<OpTimers> timers;
   if (far_.config().collect_real_timings) timers = std::make_shared<OpTimers>();
-  far_.evaluate(tree, lists, rhs, far_out, timers.get());
+  const SdcHooks far_hooks{&det, pending.expansion, pending.expansion_seed,
+                           &res.sdc};
+  const bool arm_far = det.expansion_checks || det.expansion_reaggregation ||
+                       pending.expansion;
+  far_.evaluate(tree, lists, rhs, far_out, timers.get(),
+                arm_far ? &far_hooks : nullptr);
 
   const auto pos = tree.sorted_positions();
   const std::size_t n = tree.num_bodies();
@@ -198,10 +334,13 @@ GravityResult GravitySolver::solve(const AdaptiveOctree& tree,
   for (std::size_t i = 0; i < n; ++i) sources[i] = {pos[i], q_tree[i]};
   std::vector<GravityAccum> near(n);
 
-  GravityResult res;
+  const SdcHooks p2p_hooks{&det, pending.gpu_batch, pending.gpu_batch_seed,
+                           &res.sdc};
+  const bool arm_p2p =
+      det.p2p_checks || det.p2p_verify_stride > 0 || pending.gpu_batch;
   res.gpu = run_p2p(tree, lists.p2p, kernel_, std::span<const GravitySource>(sources),
                     tree.perm(), node_.gpus(), std::span<GravityAccum>(near),
-                    &node_.health());
+                    &node_.health(), arm_p2p ? &p2p_hooks : nullptr);
 
   res.potential.assign(n, 0.0);
   res.gradient.assign(n, Vec3{});
@@ -250,20 +389,32 @@ StokesletResult StokesletSolver::solve(const AdaptiveOctree& tree,
     rhs[3][t] = dot(pos[t], f);
   }
 
+  StokesletResult res;
+  const SdcDetectConfig& det = far_.config().sdc;
+  const SdcPending pending = node_.health().sdc;
+
   std::vector<std::vector<PointValue>> far_out;
   std::shared_ptr<OpTimers> timers;
   if (far_.config().collect_real_timings) timers = std::make_shared<OpTimers>();
-  far_.evaluate(tree, lists, rhs, far_out, timers.get());
+  const SdcHooks far_hooks{&det, pending.expansion, pending.expansion_seed,
+                           &res.sdc};
+  const bool arm_far = det.expansion_checks || det.expansion_reaggregation ||
+                       pending.expansion;
+  far_.evaluate(tree, lists, rhs, far_out, timers.get(),
+                arm_far ? &far_hooks : nullptr);
 
   std::vector<StokesletSource> sources(n);
   for (std::size_t t = 0; t < n; ++t) sources[t] = {pos[t], forces[perm[t]]};
   std::vector<StokesletAccum> near(n);
 
-  StokesletResult res;
+  const SdcHooks p2p_hooks{&det, pending.gpu_batch, pending.gpu_batch_seed,
+                           &res.sdc};
+  const bool arm_p2p =
+      det.p2p_checks || det.p2p_verify_stride > 0 || pending.gpu_batch;
   res.gpu = run_p2p(tree, lists.p2p, kernel_,
                     std::span<const StokesletSource>(sources), perm,
                     node_.gpus(), std::span<StokesletAccum>(near),
-                    &node_.health());
+                    &node_.health(), arm_p2p ? &p2p_hooks : nullptr);
 
   res.velocity.assign(n, Vec3{});
   for (std::size_t t = 0; t < n; ++t) {

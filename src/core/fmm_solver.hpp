@@ -28,6 +28,7 @@
 #include "octree/list_cache.hpp"
 #include "octree/octree.hpp"
 #include "octree/traversal.hpp"
+#include "sdc/sdc.hpp"
 #include "util/op_timers.hpp"
 
 namespace afmm {
@@ -39,6 +40,10 @@ struct FmmConfig {
   // per-thread measurement) into the result's `real_timings`. Off by
   // default: ~2 clock reads per node-level operation.
   bool collect_real_timings = false;
+  // ABFT silent-corruption detection (sdc/). All detectors default OFF;
+  // armed detectors only read clean data, so fault-free solves stay
+  // bit-identical with detection on or off.
+  SdcDetectConfig sdc;
 };
 
 // Structural statistics of one solve, for benches and logs.
@@ -61,10 +66,15 @@ class HarmonicFarField {
   // All rhs share the traversal and the M2L derivative tensors.
   // When `timers` is non-null, real per-thread operation times accumulate
   // into it (counts are per application, P2M/L2P per covered body).
+  // When `sdc` is non-null, the armed expansion detectors (and the injected
+  // kSdcExpansion corruption, if pending) run between the upward and
+  // downward passes; a detected corruption is repaired by re-running just
+  // that subtree's upward pass and verified against the stored checksum.
   void evaluate(const AdaptiveOctree& tree, const InteractionLists& lists,
                 std::span<const std::vector<double>> charges,
                 std::vector<std::vector<PointValue>>& out,
-                OpTimers* timers = nullptr) const;
+                OpTimers* timers = nullptr,
+                const SdcHooks* sdc = nullptr) const;
 
  private:
   FmmConfig config_;
@@ -79,6 +89,8 @@ struct GravityResult {
   SolveStats stats;
   // Real wall-clock per-op times (populated when collect_real_timings).
   std::shared_ptr<OpTimers> real_timings;
+  // SDC activity inside this solve (injections, detections, repairs).
+  SdcReport sdc;
 };
 
 class GravitySolver {
@@ -119,6 +131,7 @@ struct StokesletResult {
   GpuRunResult gpu;
   SolveStats stats;
   std::shared_ptr<OpTimers> real_timings;
+  SdcReport sdc;
 };
 
 class StokesletSolver {

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <utility>
 
+#include "sdc/sdc.hpp"
+
 namespace afmm {
 
 // --- GravityProblem ---------------------------------------------------------
@@ -23,7 +25,8 @@ SolveOutcome GravityProblem::initial_solve(const AdaptiveOctree& tree) {
   for (std::size_t i = 0; i < bodies_.size(); ++i)
     accel_[i] = grav_const_ * res.gradient[i];
   potential_ = std::move(res.potential);
-  return {res.times, res.gpu, res.stats, res.real_timings};
+  refresh_state_checksum();
+  return {res.times, res.gpu, res.stats, res.real_timings, res.sdc};
 }
 
 void GravityProblem::pre_solve(double dt) {
@@ -36,7 +39,7 @@ void GravityProblem::pre_solve(double dt) {
 SolveOutcome GravityProblem::solve(const AdaptiveOctree& tree) {
   pending_ = solver_->solve(tree, bodies_.positions, bodies_.masses);
   return {pending_->times, pending_->gpu, pending_->stats,
-          pending_->real_timings};
+          pending_->real_timings, pending_->sdc};
 }
 
 void GravityProblem::post_solve(double dt) {
@@ -46,6 +49,7 @@ void GravityProblem::post_solve(double dt) {
   }
   potential_ = std::move(pending_->potential);
   pending_.reset();
+  refresh_state_checksum();
 }
 
 void GravityProblem::save_state(SimCheckpoint& ckpt) const {
@@ -58,6 +62,7 @@ void GravityProblem::load_state(const SimCheckpoint& ckpt) {
   bodies_ = ckpt.bodies;
   accel_ = ckpt.accel;
   potential_ = ckpt.potential;
+  refresh_state_checksum();
 }
 
 void GravityProblem::audit_state(const AuditConfig& audit,
@@ -70,6 +75,14 @@ void GravityProblem::audit_state(const AuditConfig& audit,
     audit_sampled_gravity(bodies_.positions, bodies_.masses, accel_,
                           grav_const_, softening_, audit.force_samples,
                           audit.force_rel_tol, report);
+  if (audit.momentum_rel_tol > 0.0)
+    audit_momentum(accel_, bodies_.masses, audit.momentum_rel_tol, report);
+  // Last, so existing first-violation expectations (finite/sampled audits)
+  // are preserved: the full-state checksum catches ANY bit flipped since the
+  // state was written, including flips too small for the tolerance-based
+  // tripwires above.
+  if (audit.state_checksums)
+    audit_state_checksum(compute_state_checksum(), state_checksum_, report);
 }
 
 double GravityProblem::total_energy() const {
@@ -84,6 +97,41 @@ double GravityProblem::total_energy() const {
 
 void GravityProblem::corrupt_force_for_test(std::size_t i) {
   accel_[i].x = std::numeric_limits<double>::quiet_NaN();
+}
+
+void GravityProblem::corrupt_velocity_for_test(std::size_t i) {
+  sdc_flip_double_bit(bodies_.velocities[i].y, 44);
+}
+
+std::uint64_t GravityProblem::compute_state_checksum() const {
+  std::uint64_t h = sdc_checksum_bytes(bodies_.positions.data(),
+                                       bodies_.positions.size() * sizeof(Vec3));
+  h = sdc_checksum_extend(h, bodies_.velocities.data(),
+                          bodies_.velocities.size() * sizeof(Vec3));
+  h = sdc_checksum_extend(h, accel_.data(), accel_.size() * sizeof(Vec3));
+  h = sdc_checksum_extend(h, potential_.data(),
+                          potential_.size() * sizeof(double));
+  return h;
+}
+
+void GravityProblem::apply_sdc_bit_flip(std::uint64_t seed) {
+  if (accel_.empty()) return;
+  Vec3& a = accel_[sdc_pick(seed, accel_.size())];
+  double* comp = &a.x + sdc_pick(seed >> 17, 3);
+  sdc_flip_double_bit(*comp, static_cast<int>(seed >> 33));
+}
+
+bool GravityProblem::repair_derived(const AdaptiveOctree& tree) {
+  if (tree.num_bodies() != bodies_.size()) return false;
+  // Accelerations and potentials are a pure function of the intact
+  // positions/masses: re-running the step's deterministic solve reproduces
+  // them bit for bit. The stored checksum (taken from clean state) is NOT
+  // refreshed here -- the engine re-audits against it to prove the repair.
+  auto res = solver_->solve(tree, bodies_.positions, bodies_.masses);
+  for (std::size_t i = 0; i < bodies_.size(); ++i)
+    accel_[i] = grav_const_ * res.gradient[i];
+  potential_ = std::move(res.potential);
+  return true;
 }
 
 // --- StokesProblem ----------------------------------------------------------
@@ -101,6 +149,7 @@ StokesProblem::StokesProblem(const FmmConfig& fmm, double epsilon,
                              ForceModel force_model)
     : solver_(std::make_unique<StokesletSolver>(fmm, std::move(node),
                                                  epsilon)),
+      epsilon_(epsilon),
       viscosity_(viscosity),
       force_model_(std::move(force_model)),
       positions_(std::move(positions)),
@@ -110,8 +159,12 @@ StokesProblem::StokesProblem(const FmmConfig& fmm, double epsilon,
 SolveOutcome StokesProblem::run_solver(const AdaptiveOctree& tree) {
   force_model_(positions_, forces_);
   pending_ = solver_->solve(tree, positions_, forces_);
+  // Snapshot the configuration this solve ran at: post_solve advects
+  // positions_ away from it, and the sampled direct-sum audit must compare
+  // velocities against THESE positions/forces.
+  last_solve_positions_ = positions_;
   return {pending_->times, pending_->gpu, pending_->stats,
-          pending_->real_timings};
+          pending_->real_timings, pending_->sdc};
 }
 
 SolveOutcome StokesProblem::initial_solve(const AdaptiveOctree& tree) {
@@ -122,7 +175,9 @@ SolveOutcome StokesProblem::initial_solve(const AdaptiveOctree& tree) {
       1.0 / (8.0 * std::numbers::pi_v<double> * viscosity_);
   for (std::size_t i = 0; i < positions_.size(); ++i)
     velocities_[i] = mobility * pending_->velocity[i];
+  last_u_ = std::move(pending_->velocity);
   pending_.reset();
+  refresh_state_checksum();
   return out;
 }
 
@@ -142,7 +197,9 @@ void StokesProblem::post_solve(double dt) {
     velocities_[i] = mobility * pending_->velocity[i];
     positions_[i] += dt * velocities_[i];
   }
+  last_u_ = std::move(pending_->velocity);
   pending_.reset();
+  refresh_state_checksum();
 }
 
 void StokesProblem::save_state(SimCheckpoint& ckpt) const {
@@ -155,14 +212,58 @@ void StokesProblem::load_state(const SimCheckpoint& ckpt) {
   velocities_ = ckpt.bodies.velocities;
   velocities_.resize(positions_.size());
   forces_.resize(positions_.size());
+  // The retained solver output belongs to the pre-restore trajectory; a
+  // repair attempt before the next solve must fail (and escalate) rather
+  // than "repair" with stale data.
+  last_u_.clear();
+  last_solve_positions_.clear();
+  refresh_state_checksum();
 }
 
 void StokesProblem::audit_state(const AuditConfig& audit,
                                 AuditReport& report) const {
-  (void)audit;  // no sampled direct sum: forces are re-derived every solve
   audit_finite(std::span<const Vec3>(positions_), "position", report);
   audit_finite(std::span<const Vec3>(velocities_), "velocity", report);
   audit_finite(std::span<const Vec3>(forces_), "force", report);
+  if (audit.force_samples > 0 && !last_solve_positions_.empty() &&
+      last_solve_positions_.size() == velocities_.size()) {
+    const double mobility =
+        1.0 / (8.0 * std::numbers::pi_v<double> * viscosity_);
+    audit_sampled_stokes(last_solve_positions_, forces_, velocities_,
+                         mobility, epsilon_, audit.force_samples,
+                         audit.force_rel_tol, report);
+  }
+  if (audit.state_checksums)
+    audit_state_checksum(compute_state_checksum(), state_checksum_, report);
+}
+
+std::uint64_t StokesProblem::compute_state_checksum() const {
+  std::uint64_t h = sdc_checksum_bytes(positions_.data(),
+                                       positions_.size() * sizeof(Vec3));
+  h = sdc_checksum_extend(h, velocities_.data(),
+                          velocities_.size() * sizeof(Vec3));
+  return h;
+}
+
+void StokesProblem::apply_sdc_bit_flip(std::uint64_t seed) {
+  if (velocities_.empty()) return;
+  Vec3& v = velocities_[sdc_pick(seed, velocities_.size())];
+  double* comp = &v.x + sdc_pick(seed >> 17, 3);
+  sdc_flip_double_bit(*comp, static_cast<int>(seed >> 33));
+}
+
+bool StokesProblem::repair_derived(const AdaptiveOctree& tree) {
+  (void)tree;
+  if (last_u_.size() != velocities_.size()) return false;
+  // velocities_[i] = mobility * last_u_[i] is the exact operation
+  // post_solve performed on the identical operands: bit-exact restore
+  // without a re-solve. The stored checksum is deliberately not refreshed;
+  // the engine's re-audit proves the repair against it.
+  const double mobility =
+      1.0 / (8.0 * std::numbers::pi_v<double> * viscosity_);
+  for (std::size_t i = 0; i < velocities_.size(); ++i)
+    velocities_[i] = mobility * last_u_[i];
+  return true;
 }
 
 }  // namespace afmm

@@ -64,7 +64,27 @@ class GravityProblem {
   // Chaos hook: NaN one stored acceleration (the sampled-force audit trips).
   void corrupt_force_for_test(std::size_t i);
 
+  // Chaos hook: flip one mantissa bit of one stored velocity WITHOUT
+  // refreshing the state checksum -- primary-state corruption the derived
+  // repair rung cannot fix, so the engine's ladder must escalate.
+  void corrupt_velocity_for_test(std::size_t i);
+
+  // --- SDC surface (sdc/) -------------------------------------------------
+  // kBitFlip: flip one bit of one stored acceleration component. Applied by
+  // the engine AFTER post_solve refreshed the state checksum, so the very
+  // next audit sees the mismatch.
+  void apply_sdc_bit_flip(std::uint64_t seed);
+  // Repair rung for derived state: re-derive accelerations + potential from
+  // the intact positions/masses by re-solving on `tree` (bit-exact: the
+  // same deterministic solve post_solve consumed). Velocities/positions are
+  // primary state and cannot be re-derived; if corruption hit them the
+  // subsequent re-audit still fails and the engine escalates to rollback.
+  bool repair_derived(const AdaptiveOctree& tree);
+  std::uint64_t state_checksum() const { return state_checksum_; }
+
  private:
+  std::uint64_t compute_state_checksum() const;
+  void refresh_state_checksum() { state_checksum_ = compute_state_checksum(); }
   // Behind a unique_ptr because the solver's ExpansionContext is not
   // address-stable (LaplaceDerivatives references a sibling member), while
   // Problems are moved into the engine at construction.
@@ -76,6 +96,10 @@ class GravityProblem {
   std::vector<double> potential_;
   // The solve result between solve() and post_solve() of one step.
   std::optional<GravityResult> pending_;
+  // FNV checksum of the full body state, refreshed whenever the problem
+  // finishes writing it (initial_solve / post_solve / load_state); any
+  // later flipped bit makes audit_state's recomputation mismatch.
+  std::uint64_t state_checksum_ = 0;
 };
 
 // Writes the per-body forces for the current positions into `forces`.
@@ -114,16 +138,36 @@ class StokesProblem {
   const std::vector<Vec3>& position_vector() const { return positions_; }
   const std::vector<Vec3>& velocities() const { return velocities_; }
 
+  // --- SDC surface (sdc/), mirroring GravityProblem ----------------------
+  // kBitFlip: flip one bit of one stored velocity component.
+  void apply_sdc_bit_flip(std::uint64_t seed);
+  // Repair rung: the raw solver output of the step's solve is retained
+  // (last_u_), so corrupted velocities are re-derived by re-applying the
+  // identical mobility scale -- bit-exact without re-solving. Positions are
+  // primary state; corruption there escalates.
+  bool repair_derived(const AdaptiveOctree& tree);
+  std::uint64_t state_checksum() const { return state_checksum_; }
+
  private:
   SolveOutcome run_solver(const AdaptiveOctree& tree);
+  std::uint64_t compute_state_checksum() const;
+  void refresh_state_checksum() { state_checksum_ = compute_state_checksum(); }
 
   std::unique_ptr<StokesletSolver> solver_;  // see GravityProblem::solver_
+  double epsilon_;
   double viscosity_;
   ForceModel force_model_;
   std::vector<Vec3> positions_;
   std::vector<Vec3> velocities_;
   std::vector<Vec3> forces_;
   std::optional<StokesletResult> pending_;
+  // Raw induced velocities of the last solve (before the mobility scale):
+  // the repair ground truth for velocities_.
+  std::vector<Vec3> last_u_;
+  // Positions the last solve ran at (post_solve advects positions_ away from
+  // them); the sampled direct-sum audit must evaluate at these.
+  std::vector<Vec3> last_solve_positions_;
+  std::uint64_t state_checksum_ = 0;
 };
 
 // The engine is explicitly instantiated for both problems in engine.cpp.

@@ -91,11 +91,16 @@ class GravitySimulation {
 
   // Rollbacks performed so far, and the on-disk store when one is configured.
   int rollbacks() const { return engine_.rollbacks(); }
+  // Rollbacks reached through the SDC escalation ladder specifically.
+  int sdc_rollbacks() const { return engine_.sdc_rollbacks(); }
   const CheckpointStore* store() const { return engine_.store(); }
 
   // Chaos hooks: silent state corruption for auditor/recovery tests.
   void corrupt_force_for_test(std::size_t i) {
     engine_.problem().corrupt_force_for_test(i);
+  }
+  void corrupt_velocity_for_test(std::size_t i) {
+    engine_.problem().corrupt_velocity_for_test(i);
   }
   void corrupt_tree_for_test() { engine_.corrupt_tree_for_test(); }
 

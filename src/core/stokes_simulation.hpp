@@ -72,6 +72,8 @@ class StokesSimulation {
   // Resilience surface (engine-provided, identical to the gravity facade).
   AuditReport run_audit() const { return engine_.run_audit(); }
   int rollbacks() const { return engine_.rollbacks(); }
+  // Rollbacks reached through the SDC escalation ladder specifically.
+  int sdc_rollbacks() const { return engine_.sdc_rollbacks(); }
   const CheckpointStore* store() const { return engine_.store(); }
 
   // Chaos hook: silent tree corruption for auditor/recovery tests.

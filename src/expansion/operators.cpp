@@ -1,5 +1,6 @@
 #include "expansion/operators.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace afmm {
@@ -157,6 +158,27 @@ void ExpansionContext::l2l(const Vec3& from, const Vec3& to,
   // L'_lo = sum_{hi >= lo} L_hi * t_{hi - lo}: the transpose of M2M.
   for (const auto& tr : triples_)
     Lchild[tr.lo] += Lparent[tr.hi] * t[tr.shift];
+}
+
+double ExpansionContext::reaggregated_monopole(const double* const* child_M,
+                                               int num_children) const {
+  // Exactly the fp operations the upsweep used for coefficient 0: the only
+  // triple writing index 0 is (0,0,0) with scaled power exactly 1.0, so
+  // Mparent[0] accumulated `+= Mchild[0] * 1.0` per child in child order.
+  double m = 0.0;
+  for (int c = 0; c < num_children; ++c) m += child_M[c][0];
+  return m;
+}
+
+bool ExpansionContext::m2m_reaggregation_matches(
+    const Vec3* child_centers, const double* const* child_M, int num_children,
+    const Vec3& parent_center, const double* Mparent,
+    std::vector<double>& scratch) const {
+  scratch.assign(static_cast<std::size_t>(ncoef()), 0.0);
+  for (int c = 0; c < num_children; ++c)
+    m2m(child_centers[c], parent_center, child_M[c], scratch.data());
+  return std::memcmp(scratch.data(), Mparent,
+                     static_cast<std::size_t>(ncoef()) * sizeof(double)) == 0;
 }
 
 }  // namespace afmm

@@ -79,6 +79,28 @@ class ExpansionContext {
   void l2l(const Vec3& from, const Vec3& to, const double* Lparent,
            double* Lchild) const;
 
+  // --- ABFT consistency checks (sdc/) -----------------------------------
+  // Both invariants hold BITWISE on an intact upward pass, so they are
+  // corruption tripwires with a zero false-positive rate: any mismatch is a
+  // flipped bit, not roundoff.
+
+  // In-order fp sum of the children's monopoles (coefficient of alpha = 0).
+  // M2M propagates the monopole with exact weight 1 (the zero multi-index's
+  // scaled power), so a parent's monopole equals this sum exactly. For the
+  // gravity rhs this is conservation of total mass under aggregation.
+  double reaggregated_monopole(const double* const* child_M,
+                               int num_children) const;
+
+  // Recompute a parent multipole block from its children through M2M into
+  // `scratch` (resized to ncoef()) and compare bitwise against `Mparent`.
+  // Children must be passed in tree child order: the recomputation then
+  // replays the upsweep's exact accumulation into a zeroed block.
+  bool m2m_reaggregation_matches(const Vec3* child_centers,
+                                 const double* const* child_M,
+                                 int num_children, const Vec3& parent_center,
+                                 const double* Mparent,
+                                 std::vector<double>& scratch) const;
+
   // --- cost model hooks ----------------------------------------------------
   // Floating point work per single application, used by machine/ to assign
   // task durations. These count the structural multiply-adds of each

@@ -25,6 +25,27 @@
 // MachineHealth (apply() only bumps the epoch for them); the cluster layer
 // interprets the fired events against its per-node health views.
 //
+// Silent-data-corruption events (sdc/ subsystem) -- these arm a transient
+// SdcPending on MachineHealth and, unlike every kind above, do NOT bump the
+// fault epoch (corrupting data is not a capability change; an epoch bump
+// would make the load balancer re-Search):
+//
+//   kBitFlip         -- flip one bit of the derived body state after the
+//                       step's solve has been consumed
+//   kSdcGpuBatch     -- corrupt one P2P batch result after it "returns from
+//                       the device" but before it is applied
+//   kSdcExpansion    -- flip one multipole coefficient between the upward
+//                       and downward passes
+//   kSdcHaloPayload  -- corrupt one halo message that passes the link layer
+//                       (cluster/ interprets it)
+//
+// Each fired SDC event derives a per-event seed from (injector seed, step,
+// kind), so the victim index and flipped bit replay bit-identically. A fired
+// SDC event is also remembered in a monotone high-water mark: rolling the
+// cursor back (checkpoint rollback) never re-fires an already-fired
+// corruption, otherwise an unrepairable event would re-corrupt every replay
+// and the run could never make progress past it.
+//
 // The injector owns no randomness of its own beyond a seed it folds with the
 // step index into MachineHealth::transfer_seed, so a given (schedule, seed)
 // replays the identical fault trajectory every run -- chaos tests are
@@ -32,6 +53,7 @@
 #pragma once
 
 #include <cstdint>
+#include <climits>
 #include <string>
 #include <vector>
 
@@ -49,9 +71,15 @@ enum class FaultKind {
   kNodeCrash,
   kNodeRejoin,
   kNodeLinkFaults,
+  kBitFlip,
+  kSdcGpuBatch,
+  kSdcExpansion,
+  kSdcHaloPayload,
 };
 
 const char* to_string(FaultKind k);
+// True for the silent-corruption kinds (kBitFlip..kSdcHaloPayload).
+bool is_sdc(FaultKind k);
 
 struct FaultEvent;
 // Human-readable one-liner for logs and trace-event args, e.g.
@@ -83,6 +111,10 @@ struct FaultSchedule {
   FaultSchedule& node_rejoin(int step, int node);
   FaultSchedule& node_link_faults(int step, int node, double fail_prob,
                                   int duration);
+  FaultSchedule& bit_flip(int step);
+  FaultSchedule& sdc_gpu_batch(int step);
+  FaultSchedule& sdc_expansion(int step);
+  FaultSchedule& sdc_halo_payload(int step);
 
   bool empty() const { return events.empty(); }
 };
@@ -95,6 +127,10 @@ struct FaultInjectorSnapshot {
   std::uint64_t next_event = 0;
   int transfer_window_end = -1;
   std::uint64_t num_events = 0;
+  // High-water mark of events that have fired at least once this run.
+  // Restoring an OLDER snapshot keeps the CURRENT mark (max of the two):
+  // already-fired silent-corruption events must never fire again on replay.
+  std::uint64_t fired_mark = 0;
 };
 
 class FaultInjector {
@@ -103,8 +139,10 @@ class FaultInjector {
   explicit FaultInjector(FaultSchedule schedule, std::uint64_t seed = 0x5eed);
 
   // Applies every not-yet-applied event scheduled at or before `step` to
-  // `health` (steps must be visited in nondecreasing order) and rotates the
-  // transfer seed. Returns the events fired this call, in schedule order.
+  // `health` and rotates the transfer seed. Returns the events fired this
+  // call, in schedule order. Steps must be visited in nondecreasing order
+  // between restore()s; an out-of-order visit throws std::logic_error
+  // instead of silently double-applying events.
   std::vector<FaultEvent> advance_to(int step, MachineHealth& health);
 
   bool exhausted() const;
@@ -116,14 +154,28 @@ class FaultInjector {
   // mismatch (the snapshot then belongs to a different run configuration).
   void restore(const FaultInjectorSnapshot& snap);
 
+  // Acknowledge a deliberate step rewind WITHOUT moving the cursor: the
+  // cluster layer replays lost steps after a crash recovery while its own
+  // injector keeps every already-fired event applied. Re-arms the
+  // nondecreasing-step guard the way restore() does.
+  void acknowledge_rewind() { last_step_ = INT_MIN; }
+
  private:
   void apply(const FaultEvent& e, MachineHealth& health);
+  // Deterministic per-event seed for SDC victim/bit selection.
+  std::uint64_t event_seed(const FaultEvent& e) const;
 
   FaultSchedule schedule_;  // kept sorted by step (stable)
   std::uint64_t seed_ = 0x5eed;
   std::size_t next_ = 0;
   // Step at which an active transfer-fault window expires (-1 = none).
   int transfer_window_end_ = -1;
+  // Monotone count of events that have fired at least once (never rewound
+  // by restore); SDC events below this mark are skipped on replay.
+  std::size_t fired_mark_ = 0;
+  // Last step visited since construction/restore; guards the
+  // nondecreasing-step contract of advance_to.
+  int last_step_ = INT_MIN;
 };
 
 }  // namespace afmm

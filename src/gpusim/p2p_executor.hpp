@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "machine/health.hpp"
 #include "octree/octree.hpp"
 #include "octree/traversal.hpp"
+#include "sdc/sdc.hpp"
 
 namespace afmm {
 
@@ -92,6 +94,18 @@ std::vector<GpuWorkShape> collect_shapes(const AdaptiveOctree& tree,
 
 // Runs all P2P work. `sources` and `ids` are tree-ordered (node spans index
 // into them); `out` accumulates per tree-ordered body.
+//
+// ABFT (sdc/): each work item -- one "batch", the unit a device would hand
+// back -- is computed into a staging buffer, checksummed at production, and
+// only flushed into `out` after verification. A corrupted batch (the
+// simulated kSdcGpuBatch event flips a bit post-"transfer") is detected by
+// the checksum mismatch and SURGICALLY REPAIRED by re-executing just that
+// batch on the CPU; `sdc->detect->p2p_verify_stride` additionally re-evaluates
+// one target body of every Nth batch from scratch as an independent
+// end-to-end sample. The staging buffer changes no arithmetic: per-target
+// accumulation order and the `out[bt] += batch[j]` flush are the exact
+// operations of the direct path, so results stay bit-identical with hooks
+// on, off, or null.
 template <typename Kernel>
 GpuRunResult run_p2p(const AdaptiveOctree& tree,
                      const std::vector<P2PWork>& work, const Kernel& kernel,
@@ -99,24 +113,98 @@ GpuRunResult run_p2p(const AdaptiveOctree& tree,
                      std::span<const std::uint32_t> ids,
                      const GpuSystemConfig& system,
                      std::span<typename Kernel::Accum> out,
-                     const MachineHealth* health = nullptr) {
+                     const MachineHealth* health = nullptr,
+                     const SdcHooks* sdc = nullptr) {
+  using Accum = typename Kernel::Accum;
+  const bool check_sums = sdc && sdc->detect && sdc->detect->p2p_checks;
+  const int sample_stride =
+      sdc && sdc->detect ? sdc->detect->p2p_verify_stride : 0;
+  // Deterministic victim batch for the injected corruption (if armed).
+  const std::int64_t inject_wi =
+      sdc && sdc->inject && !work.empty()
+          ? static_cast<std::int64_t>(sdc_pick(sdc->seed, work.size()))
+          : -1;
+
+  // Compute one batch (work item) into `batch`, exactly as the direct path
+  // would: every target body accumulates its sources in concatenated
+  // source-list order. Value-initializing the elements keeps any padding
+  // bytes deterministic for raw-byte checksums.
+  std::vector<Accum> batch;
+  auto compute_batch = [&](int wi) {
+    const P2PWork& w = work[wi];
+    const OctreeNode& t = tree.node(w.target);
+    batch.assign(t.count, Accum{});
+    std::size_t j = 0;
+    for (std::uint32_t bt = t.begin; bt < t.begin + t.count; ++bt, ++j) {
+      Accum acc{};
+      const Vec3 xt = sources[bt].x;
+      for (int s : w.sources) {
+        const OctreeNode& sn = tree.node(s);
+        for (std::uint32_t bs = sn.begin; bs < sn.begin + sn.count; ++bs)
+          kernel.accumulate(xt, ids[bt], sources[bs], ids[bs], acc);
+      }
+      batch[j] = acc;
+    }
+  };
+
+  // Recompute one target body of the batch from scratch (the sampled CPU
+  // re-evaluation); returns true when it matches the staged result bitwise.
+  auto sample_matches = [&](int wi) {
+    const P2PWork& w = work[wi];
+    const OctreeNode& t = tree.node(w.target);
+    if (t.count == 0) return true;
+    const std::uint32_t bt = t.begin;
+    Accum acc{};
+    const Vec3 xt = sources[bt].x;
+    for (int s : w.sources) {
+      const OctreeNode& sn = tree.node(s);
+      for (std::uint32_t bs = sn.begin; bs < sn.begin + sn.count; ++bs)
+        kernel.accumulate(xt, ids[bt], sources[bs], ids[bs], acc);
+    }
+    return std::memcmp(&acc, batch.data(), sizeof(Accum)) == 0;
+  };
+
   // A single accumulation routine serves both the per-device shares and the
   // all-GPUs-lost CPU fallback: per-target source order depends only on the
   // work item itself, so the forces are bitwise identical either way.
   auto execute = [&](const std::vector<int>& assigned) {
     for (int wi : assigned) {
+      compute_batch(wi);
+      const std::size_t bytes = batch.size() * sizeof(Accum);
+      // ABFT checksum at production time (before the batch "leaves the
+      // device"); also the bit-exact ground truth a repair must reproduce.
+      const std::uint64_t want =
+          check_sums ? sdc_checksum_bytes(batch.data(), bytes) : 0;
+      if (wi == inject_wi && !batch.empty()) {
+        // The victim double is seed-picked across the whole batch: corruption
+        // can land in any accumulator field of any target body.
+        double* doubles = reinterpret_cast<double*>(batch.data());
+        sdc_flip_double_bit(doubles[sdc_pick(sdc->seed >> 7,
+                                             bytes / sizeof(double))],
+                            static_cast<int>(sdc->seed >> 17));
+        if (sdc->report) ++sdc->report->injected;
+      }
+      bool bad = false;
+      if (check_sums) bad = sdc_checksum_bytes(batch.data(), bytes) != want;
+      if (!bad && sample_stride > 0 && wi % sample_stride == 0)
+        bad = !sample_matches(wi);
+      if (bad) {
+        if (sdc->report) ++sdc->report->detected;
+        // Surgical repair: recompute just this batch, then prove the repair
+        // bit-exact against the production-time checksum (or the sampled
+        // re-evaluation when checksums are off).
+        compute_batch(wi);
+        const bool fixed =
+            check_sums ? sdc_checksum_bytes(batch.data(), bytes) == want
+                       : sample_matches(wi);
+        if (sdc->report) ++(fixed ? sdc->report->repaired
+                                  : sdc->report->unrepaired);
+      }
       const P2PWork& w = work[wi];
       const OctreeNode& t = tree.node(w.target);
-      for (std::uint32_t bt = t.begin; bt < t.begin + t.count; ++bt) {
-        typename Kernel::Accum acc{};
-        const Vec3 xt = sources[bt].x;
-        for (int s : w.sources) {
-          const OctreeNode& sn = tree.node(s);
-          for (std::uint32_t bs = sn.begin; bs < sn.begin + sn.count; ++bs)
-            kernel.accumulate(xt, ids[bt], sources[bs], ids[bs], acc);
-        }
-        out[bt] += acc;
-      }
+      std::size_t j = 0;
+      for (std::uint32_t bt = t.begin; bt < t.begin + t.count; ++bt, ++j)
+        out[bt] += batch[j];
     }
   };
 

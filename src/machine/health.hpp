@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sdc/sdc.hpp"
+
 namespace afmm {
 
 struct GpuHealth {
@@ -39,8 +41,16 @@ struct MachineHealth {
   // Seed the transfer retry model draws from; the fault injector rotates it
   // per step so retries are deterministic per (schedule seed, step).
   std::uint64_t transfer_seed = 0;
-  // Incremented by every applied fault/recovery event.
+  // Incremented by every applied fault/recovery event. Silent-corruption
+  // (SDC) events deliberately do NOT bump it: they change data, not machine
+  // capability, and an epoch bump would make the balancer treat a bit flip
+  // as a capability shift.
   std::uint64_t fault_epoch = 0;
+  // Silent corruption armed for the step currently being solved. Transient:
+  // set by FaultInjector::apply, consumed by the solver/engine, cleared at
+  // the end of the step; never serialized (checkpoints are taken from a
+  // quiescent clean state).
+  SdcPending sdc;
 
   // (Re)provision for `num_gpus` devices and `cores` CPU cores, all healthy.
   // The fault epoch is preserved AND bumped, never zeroed: re-provisioning is
@@ -54,6 +64,7 @@ struct MachineHealth {
     cpu_cores_provisioned = cores;
     transfer_fault_prob = 0.0;
     transfer_seed = 0;
+    sdc.clear();
     ++fault_epoch;
   }
 

@@ -133,6 +133,19 @@ void emit_trace(TraceRecorder& tr, const StepObsInput& in) {
   if (rec.checkpointed)
     tr.instant(kV, "state", "checkpoint", "state", t_end);
 
+  // ---- silent-data-corruption ladder (sdc/) -------------------------------
+  // Instants only when something happened, so fault-free traces are
+  // byte-identical with detection on or off.
+  if (rec.sdc_detected > 0)
+    tr.instant(kV, "state", "sdc-detect", "sdc", t_end,
+               {TraceArg::num("count", rec.sdc_detected)});
+  if (rec.sdc_repaired > 0)
+    tr.instant(kV, "state", "sdc-repair", "sdc", t_end,
+               {TraceArg::num("count", rec.sdc_repaired)});
+  if (rec.sdc_escalated)
+    tr.instant(kV, "state", "sdc-escalate", "sdc", t_end,
+               {TraceArg::num("unrepaired", rec.sdc_unrepaired)});
+
   // ---- per-step counters (step charts in Perfetto) ------------------------
   tr.counter(kV, "counters", "S", t0, rec.S);
   tr.counter(kV, "counters", "compute_seconds", t0, rec.compute_seconds);
@@ -188,6 +201,15 @@ void emit_metrics(MetricsRegistry& m, const StepObsInput& in) {
   m.set_gauge("cache.hits", static_cast<double>(in.cache_hits));
   m.set_gauge("cache.refreshes", static_cast<double>(in.cache_refreshes));
   m.add_counter("faults.fired", rec.faults_fired);
+  m.set_gauge("sdc.injected", rec.sdc_injected);
+  m.set_gauge("sdc.detected", rec.sdc_detected);
+  m.set_gauge("sdc.repaired", rec.sdc_repaired);
+  m.set_gauge("sdc.escalated", rec.sdc_escalated ? 1 : 0);
+  m.add_counter("sdc.injected_total", rec.sdc_injected);
+  m.add_counter("sdc.detected_total", rec.sdc_detected);
+  m.add_counter("sdc.repairs_total", rec.sdc_repaired);
+  m.add_counter("sdc.rollbacks_total",
+                rec.sdc_escalated && rec.rolled_back ? 1.0 : 0.0);
   m.observe("step.compute_seconds.hist", rec.compute_seconds);
   m.observe("step.lb_seconds.hist", rec.lb_seconds);
   m.sample(rec.step);
@@ -203,6 +225,10 @@ void register_step_metrics(MetricsRegistry& metrics) {
       "step.lb_seconds.hist",
       {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0});
   metrics.add_counter("faults.fired", 0.0);
+  metrics.add_counter("sdc.injected_total", 0.0);
+  metrics.add_counter("sdc.detected_total", 0.0);
+  metrics.add_counter("sdc.repairs_total", 0.0);
+  metrics.add_counter("sdc.rollbacks_total", 0.0);
 }
 
 double emit_step(TraceRecorder* trace, MetricsRegistry* metrics,

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "kernels/gravity.hpp"
+#include "kernels/stokeslet.hpp"
 
 namespace afmm {
 
@@ -178,6 +179,62 @@ void audit_sampled_gravity(std::span<const Vec3> positions,
       return;
     }
   }
+}
+
+void audit_sampled_stokes(std::span<const Vec3> solve_positions,
+                          std::span<const Vec3> forces,
+                          std::span<const Vec3> velocities, double mobility,
+                          double epsilon, int samples, double rel_tol,
+                          AuditReport& report) {
+  const std::size_t n = solve_positions.size();
+  if (n < 2 || samples <= 0 || velocities.size() != n || forces.size() != n)
+    return;
+  const StokesletKernel kernel(epsilon);
+  const std::size_t stride =
+      std::max<std::size_t>(1, n / static_cast<std::size_t>(samples));
+  int audited = 0;
+  for (std::size_t i = 0; i < n && audited < samples; i += stride, ++audited) {
+    StokesletAccum acc;
+    for (std::size_t j = 0; j < n; ++j)
+      kernel.accumulate(solve_positions[i], static_cast<std::uint32_t>(i),
+                        {solve_positions[j], forces[j]},
+                        static_cast<std::uint32_t>(j), acc);
+    const Vec3 direct = mobility * acc.u;
+    const double err = norm(velocities[i] - direct);
+    const double tol = rel_tol * (norm(direct) + 1e-12);
+    if (!(err <= tol)) {
+      violation(report,
+                "stokes audit: body %zu off by %.3g (tol %.3g, |direct| %.3g)",
+                i, err, tol, norm(direct));
+      return;
+    }
+  }
+}
+
+void audit_momentum(std::span<const Vec3> accel, std::span<const double> masses,
+                    double rel_tol, AuditReport& report) {
+  if (accel.empty() || masses.size() != accel.size() || rel_tol <= 0.0) return;
+  Vec3 total{};
+  double scale = 0.0;
+  for (std::size_t i = 0; i < accel.size(); ++i) {
+    const Vec3 f = masses[i] * accel[i];
+    total += f;
+    scale += norm(f);
+  }
+  const double drift = norm(total);
+  const double tol = rel_tol * (scale + 1e-12);
+  if (!(drift <= tol))  // NaN compares false: caught here too
+    violation(report, "momentum audit: |sum F| = %.3g exceeds tol %.3g",
+              drift, tol);
+}
+
+void audit_state_checksum(std::uint64_t computed, std::uint64_t stored,
+                          AuditReport& report) {
+  if (computed != stored)
+    violation(report,
+              "state checksum mismatch: %016llx != stored %016llx",
+              static_cast<unsigned long long>(computed),
+              static_cast<unsigned long long>(stored));
 }
 
 }  // namespace afmm

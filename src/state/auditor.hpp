@@ -21,6 +21,7 @@
 //                           sits far above the FMM truncation error.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -40,6 +41,15 @@ struct AuditConfig {
   // An effective leaf holding more than slack * S bodies is corrupt (a sane
   // rebin drifts leaves past S, but never by orders of magnitude).
   double leaf_capacity_slack = 64.0;
+  // Momentum (Newton third law) tripwire: |sum m_i a_i| must stay below
+  // tol * sum |m_i a_i|. 0 disables (the default -- FMM truncation makes the
+  // force sum approximate, so the tolerance is workload-dependent).
+  double momentum_rel_tol = 0.0;
+  // Verify the problem's full-state checksum (sdc/): catches ANY bit flipped
+  // since the state was last written, with zero false positives. On by
+  // default: it reads, hashes, compares -- no state change, so fault-free
+  // runs are unaffected.
+  bool state_checksums = true;
 };
 
 struct AuditReport {
@@ -71,5 +81,28 @@ void audit_sampled_gravity(std::span<const Vec3> positions,
                            std::span<const Vec3> accel, double grav_const,
                            double softening, int samples, double rel_tol,
                            AuditReport& report);
+
+// Sampled direct-sum audit for the Stokes problem: re-evaluates `samples`
+// evenly-strided bodies with the regularized Stokeslet against all others at
+// the SOLVE-TIME positions/forces and compares mobility * u_direct with the
+// stored velocities. Same contract as the gravity audit: a corruption
+// tripwire whose tolerance dominates the truncation error.
+void audit_sampled_stokes(std::span<const Vec3> solve_positions,
+                          std::span<const Vec3> forces,
+                          std::span<const Vec3> velocities, double mobility,
+                          double epsilon, int samples, double rel_tol,
+                          AuditReport& report);
+
+// Momentum / Newton-third-law tripwire: internal pairwise forces cancel, so
+// |sum m_i a_i| beyond rel_tol * sum |m_i a_i| means a corrupted
+// acceleration (sign flip, zeroed block, flipped exponent bit), not physics.
+void audit_momentum(std::span<const Vec3> accel, std::span<const double> masses,
+                    double rel_tol, AuditReport& report);
+
+// Full-state checksum comparison (sdc/): `computed` re-hashed now vs
+// `stored` taken when the state was last written. Appends a violation naming
+// both values on mismatch.
+void audit_state_checksum(std::uint64_t computed, std::uint64_t stored,
+                          AuditReport& report);
 
 }  // namespace afmm

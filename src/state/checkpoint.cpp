@@ -390,6 +390,7 @@ std::vector<std::uint8_t> encode_checkpoint(const SimCheckpoint& ckpt) {
   injector.u64(ckpt.injector.next_event);
   injector.i32(ckpt.injector.transfer_window_end);
   injector.u64(ckpt.injector.num_events);
+  injector.u64(ckpt.injector.fired_mark);
   append_section(out, SectionId::kInjector, std::move(injector));
 
   ByteWriter rng;
@@ -477,6 +478,7 @@ std::optional<SimCheckpoint> decode_checkpoint(
         ckpt.injector.next_event = r.u64();
         ckpt.injector.transfer_window_end = r.i32();
         ckpt.injector.num_events = r.u64();
+        ckpt.injector.fired_mark = r.u64();
         ok = r.ok();
         have_injector = ok;
         break;

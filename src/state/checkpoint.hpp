@@ -53,7 +53,9 @@ inline constexpr std::uint32_t kCheckpointMagic = 0x4D4D4641;  // "AFMM"
 // v3: section CRC covers id + size + payload (not payload alone), and
 // trailing bytes after the last declared section reject the file -- a flipped
 // section-id or section-count byte can no longer slip past validation.
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+// v4: injector section gains the fired high-water mark, so a resumed run
+// never re-fires an already-applied silent-corruption event.
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 enum class SimKind : std::uint32_t { kGravity = 0, kStokes = 1 };
 
@@ -123,6 +125,12 @@ struct ResilienceConfig {
   // checkpoint, rebuilding the tree and re-entering Search. When false the
   // failure is only recorded in the StepRecord.
   bool rollback_on_failure = true;
+  // Surgical SDC repair (sdc/): when an audit fails on a state-checksum
+  // mismatch, first ask the Problem to re-derive its derived arrays
+  // (accelerations / velocities) from primary state and re-audit; only when
+  // that localized rung fails does the failure escalate to rollback. Off by
+  // default so existing recovery behaviour is unchanged.
+  bool sdc_repair = false;
 
   bool enabled() const {
     return checkpoint_interval > 0 || audit.interval > 0 || watchdog.enabled();

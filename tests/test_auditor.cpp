@@ -6,6 +6,7 @@
 #include "core/simulation.hpp"
 #include "dist/distributions.hpp"
 #include "kernels/gravity.hpp"
+#include "kernels/stokeslet.hpp"
 #include "state/auditor.hpp"
 #include "util/rng.hpp"
 
@@ -78,6 +79,80 @@ TEST(Auditor, CostModelAuditCatchesPoisonedCoefficient) {
   AuditReport report;
   audit_cost_model(model, report);
   EXPECT_EQ(report.violations.size(), 2u) << report.summary();
+}
+
+TEST(Auditor, TreeAuditCatchesOversizeLeaf) {
+  GravitySimulation sim(base_config(), default_node(), test_bodies());
+  sim.run(1);
+  // Judge the healthy tree against an S far below the one it was built with:
+  // every leaf is now "oversize", exactly what a corrupted span or a
+  // scribbled leaf_capacity would look like.
+  AuditReport report;
+  audit_tree(sim.tree(), /*S=*/1, /*leaf_capacity_slack=*/2.0, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("tree: leaf"), std::string::npos)
+      << report.summary();
+}
+
+TEST(Auditor, TreeAuditCatchesScrambledPermutation) {
+  Rng rng(17);
+  const auto set = uniform_cube(256, rng, {0, 0, 0}, 1.0);
+  TreeConfig tc;
+  tc.leaf_capacity = 16;
+  tc.root_center = {0, 0, 0};
+  tc.root_half = 1.0;
+  AdaptiveOctree tree;
+  tree.build(set.positions, tc);
+  AuditReport healthy;
+  audit_tree(tree, 16, 64.0, healthy);
+  ASSERT_TRUE(healthy.ok()) << healthy.summary();
+
+  // Duplicate one permutation entry (a lost/duplicated body after a bad
+  // scatter): restore() adopts the snapshot wholesale, so the corruption
+  // lands exactly as in-memory bit rot would.
+  OctreeSnapshot snap = tree.snapshot();
+  snap.perm[1] = snap.perm[0];
+  tree.restore(snap);
+  AuditReport report;
+  audit_tree(tree, 16, 64.0, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("perm is not a permutation"),
+            std::string::npos)
+      << report.summary();
+}
+
+TEST(Auditor, SampledStokesAuditCatchesCorruptedVelocity) {
+  Rng rng(13);
+  const std::size_t n = 48;
+  const double epsilon = 0.05;
+  const double mobility = 1.0 / (8.0 * 3.14159265358979323846);
+  std::vector<Vec3> pos, forces;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.push_back({rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)});
+    forces.push_back({0, 0, -1});
+  }
+  // Exact direct-sum velocities pass at any tolerance.
+  const StokesletKernel kernel(epsilon);
+  std::vector<Vec3> vel(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    StokesletAccum acc;
+    for (std::size_t j = 0; j < n; ++j)
+      kernel.accumulate(pos[i], static_cast<std::uint32_t>(i),
+                        {pos[j], forces[j]}, static_cast<std::uint32_t>(j),
+                        acc);
+    vel[i] = mobility * acc.u;
+  }
+  AuditReport healthy;
+  audit_sampled_stokes(pos, forces, vel, mobility, epsilon, 8, 0.25, healthy);
+  EXPECT_TRUE(healthy.ok()) << healthy.summary();
+
+  // A sign flip on a sampled body (stride n/8, so index 0 is sampled) trips.
+  vel[0] = -1.0 * vel[0];
+  AuditReport report;
+  audit_sampled_stokes(pos, forces, vel, mobility, epsilon, 8, 0.25, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("stokes audit"), std::string::npos)
+      << report.summary();
 }
 
 TEST(Auditor, SampledForceAuditCatchesCorruptedAcceleration) {

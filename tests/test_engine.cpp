@@ -320,6 +320,8 @@ TEST(Engine, StepRecordParityAcrossProblems) {
     bool audited, audit_failed, watchdog_tripped, rolled_back;
     int restored_step;
     bool checkpointed;
+    int sdc_injected, sdc_detected, sdc_repaired, sdc_unrepaired;
+    bool sdc_escalated;
   };
   static_assert(sizeof(StepRecord) == sizeof(Expected),
                 "StepRecord changed: update the parity test and golden dump");

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "faults/fault_injector.hpp"
@@ -164,6 +165,34 @@ TEST(FaultInjector, SameScheduleAndSeedReplayIdentically) {
   EXPECT_EQ(a.first, b.first);
   EXPECT_EQ(a.second, b.second);
   EXPECT_NE(a.first, c.first);  // different seed, different retry draws
+}
+
+TEST(FaultInjector, AdvanceToRejectsOutOfOrderSteps) {
+  // The replay guarantees (cursor + fired-mark) assume steps arrive in
+  // nondecreasing order; a backwards call is a caller bug that must be loud,
+  // not a silent re-fire.
+  FaultSchedule sched;
+  sched.gpu_loss(2, 0);
+  FaultInjector inj(sched, 42);
+  MachineHealth h;
+  h.reset(2, 8);
+
+  inj.advance_to(3, h);
+  inj.advance_to(3, h);  // same step again is fine (idempotent re-poll)
+  inj.advance_to(5, h);
+  EXPECT_THROW(inj.advance_to(4, h), std::logic_error);
+
+  // restore() re-arms the guard: a checkpoint rollback legitimately rewinds.
+  const FaultInjectorSnapshot snap = inj.snapshot();
+  inj.restore(snap);
+  inj.advance_to(0, h);  // no throw
+
+  // acknowledge_rewind() re-arms ONLY the guard (cursor untouched) for the
+  // cluster's crash recovery, which rewinds the inner engine but keeps its
+  // own fired events applied.
+  inj.advance_to(6, h);
+  inj.acknowledge_rewind();
+  inj.advance_to(1, h);  // no throw
 }
 
 // ------------------------------------------------------- transfer retry ----

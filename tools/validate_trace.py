@@ -26,6 +26,13 @@ mode step numbers may decrease between groups and a step may be sampled
 more than once; each contiguous group must still be internally consistent
 (no duplicate metric within a group, identical metric set across groups).
 
+With --sdc the run must exercise the silent-data-corruption ladder: the
+trace must carry cat="sdc" instants including at least one "sdc-repair"
+(localized repair happened), the metrics CSV must sample the sdc.*
+instruments, and if the run escalated to a rollback the FIRST repair must
+precede the FIRST rollback -- the ladder tries surgery before amputation.
+Escalation replays steps, so --sdc also tolerates metric step rewinds.
+
 Exit 0 on success; nonzero with a message on the first violation. Stdlib
 only, so it runs anywhere CI has a python3.
 
@@ -56,6 +63,18 @@ CLUSTER_METRICS = (
     "cluster.halo.messages",
     "cluster.halo.seconds",
 )
+# Instruments the SDC ladder registers up front (obs/step_emitter.cpp);
+# every one must appear in an --sdc run's metric set.
+SDC_METRICS = (
+    "sdc.injected",
+    "sdc.detected",
+    "sdc.repaired",
+    "sdc.escalated",
+    "sdc.injected_total",
+    "sdc.detected_total",
+    "sdc.repairs_total",
+    "sdc.rollbacks_total",
+)
 
 
 def fail(msg: str) -> None:
@@ -63,15 +82,16 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def check_metrics(path: str, min_steps: int, cluster_nodes: int) -> None:
+def check_metrics(path: str, min_steps: int, cluster_nodes: int,
+                  sdc: bool = False) -> None:
     """Validate a MetricsRegistry CSV export (obs/metrics.hpp).
 
-    With cluster_nodes > 0 a step REWIND between groups is legal (crash
-    recovery restores an older checkpoint and replays), so the same step
-    may appear in more than one contiguous group; the cluster.* instrument
-    set must also be present.
+    With cluster_nodes > 0 or sdc a step REWIND between groups is legal
+    (recovery restores an older checkpoint and replays), so the same step
+    may appear in more than one contiguous group; the cluster.* / sdc.*
+    instrument set must also be present.
     """
-    allow_rewind = cluster_nodes > 0
+    allow_rewind = cluster_nodes > 0 or sdc
     try:
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
@@ -100,7 +120,7 @@ def check_metrics(path: str, min_steps: int, cluster_nodes: int) -> None:
         if prev_step is not None and step < prev_step and not allow_rewind:
             fail(f"{path}:{lineno}: step {step} after step {prev_step} "
                  "(rows must be grouped by non-decreasing step; pass "
-                 "--cluster-nodes for recovery rewinds)")
+                 "--cluster-nodes or --sdc for recovery rewinds)")
         if not metric:
             fail(f"{path}:{lineno}: empty metric name")
         try:
@@ -141,6 +161,11 @@ def check_metrics(path: str, min_steps: int, cluster_nodes: int) -> None:
         if missing:
             fail(f"{path}: cluster run missing metrics: "
                  f"{', '.join(missing)}")
+
+    if sdc:
+        missing = [m for m in SDC_METRICS if m not in reference]
+        if missing:
+            fail(f"{path}: sdc run missing metrics: {', '.join(missing)}")
 
     distinct = len({step for step, _ in groups})
     if distinct < min_steps:
@@ -186,6 +211,14 @@ def main() -> None:
         "'cluster' trace tracks, require the cluster.* metrics, and "
         "tolerate recovery step rewinds in the metrics CSV",
     )
+    ap.add_argument(
+        "--sdc",
+        action="store_true",
+        help="validate a silent-data-corruption run: require cat='sdc' "
+        "instants with at least one 'sdc-repair', require the sdc.* "
+        "metrics, require the first repair to precede any rollback, and "
+        "tolerate escalation step rewinds in the metrics CSV",
+    )
     args = ap.parse_args()
 
     try:
@@ -205,6 +238,8 @@ def main() -> None:
     track_names = set()    # thread_name metadata args.name values
     used_tracks = set()
     categories = {}
+    sdc_first_ts = {}      # sdc instant name -> earliest ts
+    first_rollback_ts = None
     for i, e in enumerate(events):
         where = f"event {i} ({e.get('name', '?')!r})"
         ph = e.get("ph")
@@ -237,6 +272,13 @@ def main() -> None:
         used_tracks.add((e["pid"], e["tid"]))
         cat = e.get("cat", "")
         categories[cat] = categories.get(cat, 0) + 1
+        if cat == "sdc":
+            prev = sdc_first_ts.get(e["name"])
+            if prev is None or ts < prev:
+                sdc_first_ts[e["name"]] = ts
+        elif e["name"] == "rollback" and ph == "i":
+            if first_rollback_ts is None or ts < first_rollback_ts:
+                first_rollback_ts = ts
 
     for pid, tid in sorted(used_tracks):
         if pid not in named_pids:
@@ -258,6 +300,21 @@ def main() -> None:
             fail(f"cluster run missing tracks: {', '.join(absent)} "
                  f"(present: {', '.join(sorted(track_names))})")
 
+    if args.sdc:
+        if "sdc" not in categories:
+            fail("sdc run has no cat='sdc' instants "
+                 f"(present: {', '.join(sorted(categories))})")
+        if "sdc-repair" not in sdc_first_ts:
+            fail("sdc run has no 'sdc-repair' instant "
+                 f"(sdc instants: {', '.join(sorted(sdc_first_ts))})")
+        if first_rollback_ts is not None:
+            # Surgery before amputation: a localized repair must have
+            # happened before the ladder ever escalated to a rollback.
+            repair_ts = sdc_first_ts["sdc-repair"]
+            if repair_ts >= first_rollback_ts:
+                fail(f"first sdc-repair (ts={repair_ts}) does not precede "
+                     f"first rollback (ts={first_rollback_ts})")
+
     n = sum(categories.values())
     cats = ", ".join(f"{k}={v}" for k, v in sorted(categories.items()))
     print(f"validate_trace: OK: {n} events on {len(used_tracks)} tracks "
@@ -265,7 +322,7 @@ def main() -> None:
 
     if args.metrics is not None:
         check_metrics(args.metrics, args.min_metric_steps,
-                      args.cluster_nodes)
+                      args.cluster_nodes, args.sdc)
 
 
 if __name__ == "__main__":
