@@ -85,7 +85,7 @@ bool LoadBalancer::gap_ok(const ObservedStepTimes& t) const {
   // the near field has fallen back to the CPU.
   const double gap = std::abs(t.far_seconds() - t.near_seconds());
   return gap <= std::max(config_.gap_seconds,
-                         config_.gap_relative * t.compute_seconds());
+                         config_.gap_relative * observed_compute(t));
 }
 
 namespace {
@@ -138,7 +138,7 @@ int LoadBalancer::fine_grained_optimize(AdaptiveOctree& tree,
   int total_ops = 0;
 
   OpCounts counts = dry_run(tree);
-  double current = model_.predict_compute(counts, cores);
+  double current = predict_compute_live(counts, cores);
   r.lb_seconds += node.enforce_seconds(1, tree.num_bodies());
 
   for (int batch = 0; batch < config_.fgo_max_batches; ++batch) {
@@ -148,31 +148,47 @@ int LoadBalancer::fine_grained_optimize(AdaptiveOctree& tree,
     // Candidate selection. CPU too slow -> collapse "bottom" parents (all
     // children effective leaves), cheapest bodies first, moving expansion
     // work into direct work. GPU too slow -> push the fullest leaves down.
+    // Walk the EFFECTIVE tree only: nodes hidden beneath a collapsed
+    // ancestor are not part of the solve and must never be mutated --
+    // touching them both distorts the op recount and breaks the
+    // batch-revert invariant (a parent's push_down re-hides a hidden child
+    // the batch also pushed down, so the revert's collapse would find an
+    // effective leaf and throw).
     std::vector<int> candidates;
-    for (int id = 0; id < tree.num_nodes(); ++id) {
+    std::vector<int> walk;
+    if (!tree.empty()) walk.push_back(tree.root());
+    while (!walk.empty()) {
+      const int id = walk.back();
+      walk.pop_back();
       if (tree.node(id).count == 0) continue;
+      if (tree.is_effective_leaf(id)) {
+        if (!cpu_heavy && tree.node(id).level < tree.config().max_depth &&
+            tree.node(id).count > 1)
+          candidates.push_back(id);
+        continue;
+      }
       if (cpu_heavy) {
-        if (tree.is_effective_leaf(id)) continue;
         bool bottom = true;
         for (int c : tree.node(id).children)
           if (!tree.is_effective_leaf(c)) {
             bottom = false;
             break;
           }
-        if (bottom) candidates.push_back(id);
-      } else {
-        if (tree.is_effective_leaf(id) &&
-            tree.node(id).level < tree.config().max_depth &&
-            tree.node(id).count > 1)
+        if (bottom) {
           candidates.push_back(id);
+          continue;  // all children are effective leaves: nothing below
+        }
       }
+      for (int c : tree.node(id).children) walk.push_back(c);
     }
     if (candidates.empty()) break;
     std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
       const auto ca = tree.node(a).count;
       const auto cb = tree.node(b).count;
-      // Collapse small nodes first; push down large leaves first.
-      return cpu_heavy ? ca < cb : ca > cb;
+      // Collapse small nodes first; push down large leaves first; break
+      // count ties by node id so the batch is a pure function of the tree.
+      if (ca != cb) return cpu_heavy ? ca < cb : ca > cb;
+      return a < b;
     });
 
     const int k = std::min<int>(config_.fgo_batch,
@@ -191,7 +207,7 @@ int LoadBalancer::fine_grained_optimize(AdaptiveOctree& tree,
     }
     counts += count_operations_touching(tree, applied, traversal_);
     counts -= before;
-    const double predicted = model_.predict_compute(counts, cores);
+    const double predicted = predict_compute_live(counts, cores);
     r.lb_seconds += node.enforce_seconds(k, tree.num_bodies());
 
     if (predicted < current) {
@@ -227,6 +243,10 @@ LbStepReport LoadBalancer::post_step(AdaptiveOctree& tree,
 
   const int cores = node.effective_cores();
 
+  // Objective selection for this step: optimize the event-driven makespan
+  // only when the executor actually overlapped AND the config wants it.
+  overlap_live_ = config_.overlap_aware && observed.overlap_seconds > 0.0;
+
   // Shift detection must run against the PRE-observation predictions: letting
   // this step blend into the EWMA first would halve the divergence it is
   // trying to measure.
@@ -257,7 +277,7 @@ LbStepReport LoadBalancer::post_step(AdaptiveOctree& tree,
   model_.observe(observed, cores);
 
   if (reset_best_next_) {
-    best_compute_ = observed.compute_seconds();
+    best_compute_ = observed_compute(observed);
     reset_best_next_ = false;
   }
 
@@ -315,7 +335,7 @@ void LoadBalancer::step_search(AdaptiveOctree& tree,
                     search_steps_ >= config_.max_search_steps ||
                     search_hi_ - search_lo_ <= std::max(1, search_lo_ / 8);
   if (done) {
-    best_compute_ = observed.compute_seconds();
+    best_compute_ = observed_compute(observed);
     if (config_.strategy == LbStrategy::kFull) {
       state_ = LbState::kIncremental;
       last_dominant_ = observed.far_seconds() > observed.near_seconds() ? +1
@@ -339,7 +359,7 @@ void LoadBalancer::step_search(AdaptiveOctree& tree,
   const int next = std::clamp(static_cast<int>(std::lround(mid)),
                               config_.min_S, config_.max_S);
   if (next == s_) {
-    best_compute_ = observed.compute_seconds();
+    best_compute_ = observed_compute(observed);
     state_ = (config_.strategy == LbStrategy::kFull) ? LbState::kIncremental
                                                      : LbState::kObservation;
     return;
@@ -361,8 +381,8 @@ void LoadBalancer::step_incremental(AdaptiveOctree& tree,
     if (!gap_ok(observed) && config_.enable_fgo)
       fine_grained_optimize(tree, node, r);
     best_compute_ = best_compute_ < 0.0
-                        ? observed.compute_seconds()
-                        : std::min(observed.compute_seconds(), best_compute_);
+                        ? observed_compute(observed)
+                        : std::min(observed_compute(observed), best_compute_);
     state_ = LbState::kObservation;
     last_dominant_ = 0;
     return;
@@ -373,7 +393,7 @@ void LoadBalancer::step_incremental(AdaptiveOctree& tree,
   const int next =
       std::clamp(s_ + dominant * step, config_.min_S, config_.max_S);
   if (next == s_) {
-    best_compute_ = observed.compute_seconds();
+    best_compute_ = observed_compute(observed);
     state_ = LbState::kObservation;
     return;
   }
@@ -385,7 +405,7 @@ void LoadBalancer::step_observation(AdaptiveOctree& tree,
                                     const ObservedStepTimes& observed,
                                     const NodeSimulator& node,
                                     LbStepReport& r) {
-  const double compute = observed.compute_seconds();
+  const double compute = observed_compute(observed);
   if (best_compute_ < 0.0 || compute < best_compute_) best_compute_ = compute;
   if (compute <= best_compute_ * (1.0 + config_.band)) return;  // all good
 
@@ -404,7 +424,7 @@ void LoadBalancer::step_observation(AdaptiveOctree& tree,
 
   const int cores = node.effective_cores();
   OpCounts counts = dry_run(tree);
-  double predicted = model_.predict_compute(counts, cores);
+  double predicted = predict_compute_live(counts, cores);
   r.lb_seconds += node.enforce_seconds(1, tree.num_bodies());
 
   if (predicted > best_compute_ * (1.0 + config_.band) && config_.enable_fgo) {

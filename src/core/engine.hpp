@@ -144,6 +144,8 @@ struct SolveOutcome {
   std::shared_ptr<OpTimers> real_timings;
   // SDC activity inside the solve (injections, ABFT detections, repairs).
   SdcReport sdc;
+  // Executed overlap schedule (null unless the overlap executor ran).
+  std::shared_ptr<const DagSchedule> dag;
 };
 
 template <class Problem>
@@ -250,6 +252,7 @@ class SimulationEngine {
     std::vector<FaultEvent> faults;
     std::shared_ptr<OpTimers> wall;
     double rebin_seconds = 0.0;
+    std::shared_ptr<const DagSchedule> dag;
   };
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<MetricsRegistry> metrics_;

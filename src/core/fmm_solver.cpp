@@ -357,6 +357,9 @@ GravityResult GravitySolver::solve(const AdaptiveOctree& tree,
   else
     res.times.gpu_seconds = res.gpu.max_kernel_seconds;
   res.times.transfer_retries = res.gpu.timeline.retries;
+  if (node_.overlap_enabled())
+    res.dag = node_.overlap_step(far_.context(), tree, lists, res.gpu, 1,
+                                 res.times);
   res.stats = make_stats(tree, lists);
   res.real_timings = std::move(timers);
   return res;
@@ -433,6 +436,9 @@ StokesletResult StokesletSolver::solve(const AdaptiveOctree& tree,
   else
     res.times.gpu_seconds = res.gpu.max_kernel_seconds;
   res.times.transfer_retries = res.gpu.timeline.retries;
+  if (node_.overlap_enabled())
+    res.dag = node_.overlap_step(far_.context(), tree, lists, res.gpu, 4,
+                                 res.times);
   res.stats = make_stats(tree, lists);
   res.real_timings = std::move(timers);
   return res;

@@ -91,6 +91,9 @@ struct GravityResult {
   std::shared_ptr<OpTimers> real_timings;
   // SDC activity inside this solve (injections, detections, repairs).
   SdcReport sdc;
+  // Executed overlap schedule (null unless the node's overlap executor ran);
+  // purely observational -- the numerics above never depend on it.
+  std::shared_ptr<const DagSchedule> dag;
 };
 
 class GravitySolver {
@@ -132,6 +135,7 @@ struct StokesletResult {
   SolveStats stats;
   std::shared_ptr<OpTimers> real_timings;
   SdcReport sdc;
+  std::shared_ptr<const DagSchedule> dag;  // see GravityResult::dag
 };
 
 class StokesletSolver {

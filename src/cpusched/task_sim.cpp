@@ -1,21 +1,67 @@
 #include "cpusched/task_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace afmm {
+namespace {
+
+void check_duration(double seconds) {
+  // !(x >= 0) also catches NaN.
+  if (!std::isfinite(seconds) || !(seconds >= 0.0))
+    throw std::invalid_argument(
+        "TaskGraphSim: task duration must be finite and >= 0, got " +
+        std::to_string(seconds));
+}
+
+void check_overhead(double seconds) {
+  if (!std::isfinite(seconds) || !(seconds >= 0.0))
+    throw std::invalid_argument(
+        "TaskGraphSim: per_task_overhead_seconds must be finite and >= 0, "
+        "got " +
+        std::to_string(seconds));
+}
+
+}  // namespace
 
 int TaskGraphSim::add_task(double seconds) {
+  check_duration(seconds);
   duration_.push_back(seconds);
+  lane_.push_back(kCpuPool);
   out_edges_.emplace_back();
   in_degree_.push_back(0);
   return static_cast<int>(duration_.size()) - 1;
 }
 
+int TaskGraphSim::add_lane_task(int lane, double seconds) {
+  if (lane < 0)
+    throw std::invalid_argument("TaskGraphSim: lane must be >= 0, got " +
+                                std::to_string(lane));
+  check_duration(seconds);
+  duration_.push_back(seconds);
+  lane_.push_back(lane);
+  out_edges_.emplace_back();
+  in_degree_.push_back(0);
+  num_lanes_ = std::max(num_lanes_, lane + 1);
+  return static_cast<int>(duration_.size()) - 1;
+}
+
 void TaskGraphSim::add_dependency(int before, int after) {
-  out_edges_[before].push_back(after);
-  ++in_degree_[after];
+  const int n = num_tasks();
+  if (before < 0 || before >= n || after < 0 || after >= n)
+    throw std::invalid_argument(
+        "TaskGraphSim: dependency references unknown task (" +
+        std::to_string(before) + " -> " + std::to_string(after) + ", have " +
+        std::to_string(n) + " tasks)");
+  if (before == after)
+    throw std::invalid_argument("TaskGraphSim: task " + std::to_string(before) +
+                                " cannot depend on itself");
+  out_edges_[static_cast<std::size_t>(before)].push_back(after);
+  ++in_degree_[static_cast<std::size_t>(after)];
 }
 
 double TaskGraphSim::total_work() const {
@@ -24,8 +70,10 @@ double TaskGraphSim::total_work() const {
   return sum;
 }
 
-double TaskGraphSim::critical_path(double overhead) const {
-  // Kahn order; dist[t] = longest finishing time ending at t.
+double TaskGraphSim::critical_path(double per_task_overhead_seconds) const {
+  check_overhead(per_task_overhead_seconds);
+  // Kahn order; dist[t] = longest finishing time ending at t. Lane tasks pay
+  // no per-task overhead (they are async engine segments, not omp tasks).
   std::vector<int> indeg = in_degree_;
   std::vector<double> dist(duration_.size(), 0.0);
   std::queue<int> q;
@@ -37,7 +85,11 @@ double TaskGraphSim::critical_path(double overhead) const {
     const int t = q.front();
     q.pop();
     ++seen;
-    dist[t] += duration_[t] + overhead;
+    const double ov =
+        lane_[static_cast<std::size_t>(t)] == kCpuPool
+            ? per_task_overhead_seconds
+            : 0.0;
+    dist[t] += duration_[t] + ov;
     best = std::max(best, dist[t]);
     for (int nxt : out_edges_[t]) {
       dist[nxt] = std::max(dist[nxt], dist[t]);
@@ -45,43 +97,106 @@ double TaskGraphSim::critical_path(double overhead) const {
     }
   }
   if (seen != num_tasks())
-    throw std::logic_error("TaskGraphSim: dependency cycle");
+    throw std::invalid_argument("TaskGraphSim: dependency cycle");
   return best;
 }
 
-double TaskGraphSim::makespan(int workers, double overhead) const {
-  if (workers < 1) throw std::invalid_argument("makespan: workers < 1");
-  std::vector<int> indeg = in_degree_;
-  std::queue<int> ready;
-  for (int t = 0; t < num_tasks(); ++t)
-    if (indeg[t] == 0) ready.push(t);
+double TaskGraphSim::makespan(int workers, double per_task_overhead_seconds,
+                              std::vector<Scheduled>* schedule) const {
+  if (workers < 1)
+    throw std::invalid_argument("TaskGraphSim: workers must be >= 1, got " +
+                                std::to_string(workers));
+  check_overhead(per_task_overhead_seconds);
+  if (schedule) schedule->clear();
+  const std::size_t n = duration_.size();
+  if (n == 0) return 0.0;
 
-  // Min-heap of (finish time, task id) for running tasks.
+  std::vector<int> indeg = in_degree_;
+  // Ready tasks compete by ascending task id (min-heaps), never by edge
+  // insertion order: one heap for the CPU pool, one per serial lane.
+  using MinHeap = std::priority_queue<int, std::vector<int>, std::greater<>>;
+  MinHeap cpu_ready;
+  std::vector<MinHeap> lane_ready(static_cast<std::size_t>(num_lanes_));
+  auto mark_ready = [&](int t) {
+    const int lane = lane_[static_cast<std::size_t>(t)];
+    if (lane == kCpuPool)
+      cpu_ready.push(t);
+    else
+      lane_ready[static_cast<std::size_t>(lane)].push(t);
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    if (indeg[i] == 0) mark_ready(static_cast<int>(i));
+
+  // Free CPU worker slots by ascending slot id, for a deterministic schedule.
+  MinHeap free_cpu;
+  for (int w = 0; w < workers; ++w) free_cpu.push(w);
+  std::vector<char> lane_busy(static_cast<std::size_t>(num_lanes_), 0);
+
+  // Min-heap of (finish time, task id): equal-time completions pop in
+  // task-id order.
   using Event = std::pair<double, int>;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+  std::vector<int> slot_of(n, -1);
+  std::vector<double> start_of(n, 0.0);
+
   double now = 0.0;
   double end = 0.0;
-  int idle = workers;
-  int done = 0;
+  std::size_t done = 0;
 
-  while (done < num_tasks()) {
-    while (idle > 0 && !ready.empty()) {
-      const int t = ready.front();
-      ready.pop();
-      --idle;
-      running.emplace(now + duration_[t] + overhead, t);
+  auto dispatch = [&] {
+    while (!free_cpu.empty() && !cpu_ready.empty()) {
+      const int t = cpu_ready.top();
+      cpu_ready.pop();
+      const int slot = free_cpu.top();
+      free_cpu.pop();
+      const std::size_t ti = static_cast<std::size_t>(t);
+      slot_of[ti] = slot;
+      start_of[ti] = now;
+      running.emplace(now + duration_[ti] + per_task_overhead_seconds, t);
     }
+    for (int lane = 0; lane < num_lanes_; ++lane) {
+      const std::size_t li = static_cast<std::size_t>(lane);
+      if (lane_busy[li] || lane_ready[li].empty()) continue;
+      const int t = lane_ready[li].top();
+      lane_ready[li].pop();
+      lane_busy[li] = 1;
+      const std::size_t ti = static_cast<std::size_t>(t);
+      slot_of[ti] = lane;
+      start_of[ti] = now;
+      running.emplace(now + duration_[ti], t);
+    }
+  };
+
+  dispatch();
+  while (done < n) {
     if (running.empty())
-      throw std::logic_error("TaskGraphSim: deadlock (cycle or bad graph)");
-    const auto [finish, t] = running.top();
-    running.pop();
-    now = finish;
-    end = std::max(end, finish);
-    ++idle;
-    ++done;
-    for (int nxt : out_edges_[t])
-      if (--indeg[nxt] == 0) ready.push(nxt);
+      // Tasks remain but none can run: the input graph has a cycle.
+      throw std::invalid_argument("TaskGraphSim: dependency cycle");
+    now = running.top().first;
+    end = std::max(end, now);
+    // Drain every completion at this instant before dispatching, so all
+    // tasks that become ready at time `now` compete by id in one round.
+    while (!running.empty() && running.top().first == now) {
+      const int t = running.top().second;
+      running.pop();
+      ++done;
+      const std::size_t ti = static_cast<std::size_t>(t);
+      if (lane_[ti] == kCpuPool)
+        free_cpu.push(slot_of[ti]);
+      else
+        lane_busy[static_cast<std::size_t>(lane_[ti])] = 0;
+      if (schedule) schedule->push_back({t, slot_of[ti], start_of[ti], now});
+      for (int nxt : out_edges_[ti])
+        if (--indeg[static_cast<std::size_t>(nxt)] == 0) mark_ready(nxt);
+    }
+    dispatch();
   }
+  if (schedule)
+    std::sort(schedule->begin(), schedule->end(),
+              [](const Scheduled& a, const Scheduled& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.task < b.task;
+              });
   return end;
 }
 

@@ -1,4 +1,5 @@
-// Work-conserving makespan simulator for OpenMP-style task DAGs.
+// Work-conserving makespan simulator for OpenMP-style task DAGs, extended
+// with serial "lanes" for heterogeneous resources.
 //
 // The paper parallelizes every tree phase with "#pragma omp task" per child
 // and a taskwait at the parent (Section III.B). The numeric phases of this
@@ -8,6 +9,30 @@
 // Fig. 6 reports. A greedy list scheduler is an accurate stand-in for an
 // OpenMP work-stealing runtime at this granularity (Brent's bound is tight
 // for these wide, shallow tree DAGs).
+//
+// Heterogeneous resources (DESIGN.md section 14): besides the P-worker CPU
+// pool, a task can be pinned to a numbered *lane* -- a serial resource that
+// executes one task at a time, the way a CUDA default stream serializes the
+// upload / kernel / download segments of one GPU. Lanes run concurrently
+// with each other and with the CPU pool, so a graph mixing pool tasks and
+// lane tasks yields the event-driven makespan of a data-driven CPU/GPU step.
+//
+// Contract (total for all inputs, matching gpusim/partition.hpp):
+//   * add_task / add_lane_task reject negative or non-finite durations, and
+//     add_lane_task rejects lane < 0, with std::invalid_argument;
+//   * add_dependency rejects out-of-range ids and self-edges with
+//     std::invalid_argument;
+//   * makespan rejects workers < 1; makespan and critical_path reject
+//     negative or non-finite per-task overhead and a cyclic graph with
+//     std::invalid_argument (a cycle is a caller error in the *input* graph,
+//     not an internal inconsistency);
+//   * an empty graph has zero total work, critical path, and makespan.
+//
+// Determinism: ready tasks are dispatched in ascending task id. When several
+// tasks become ready at the same virtual instant -- including all tasks
+// unblocked by completions at that instant -- they compete by id, never by
+// the order their dependency edges were inserted, so two structurally equal
+// graphs built in different edge orders schedule identically.
 #pragma once
 
 #include <cstdint>
@@ -17,28 +42,55 @@ namespace afmm {
 
 class TaskGraphSim {
  public:
-  // Adds a task with the given execution time; returns its id.
+  // Lane id of tasks scheduled on the CPU worker pool.
+  static constexpr int kCpuPool = -1;
+
+  // Adds a CPU-pool task with the given execution time; returns its id.
   int add_task(double seconds);
+
+  // Adds a task pinned to serial lane `lane` (>= 0); returns its id. Lane
+  // tasks pay no per-task overhead (they model asynchronous engine segments,
+  // not omp task spawns).
+  int add_lane_task(int lane, double seconds);
 
   // `before` must finish before `after` may start.
   void add_dependency(int before, int after);
 
   int num_tasks() const { return static_cast<int>(duration_.size()); }
-  double total_work() const;  // sum of task durations
+  // Number of distinct lanes referenced (max lane id + 1).
+  int num_lanes() const { return num_lanes_; }
+  // Lane of a task: kCpuPool or the lane id passed to add_lane_task.
+  int task_lane(int task) const { return lane_[static_cast<std::size_t>(task)]; }
+  double total_work() const;  // sum of task durations (pool + lanes)
 
   // Longest chain through the DAG (critical path), including per-task
-  // overhead; the P -> infinity limit of the makespan.
+  // overhead on CPU-pool tasks; the P -> infinity limit of the makespan.
   double critical_path(double per_task_overhead_seconds = 0.0) const;
 
-  // Greedy list-scheduled makespan on `workers` cores. Ready tasks are
-  // dispatched FIFO; each task pays `per_task_overhead_seconds` extra
-  // (task creation + scheduling cost).
-  double makespan(int workers, double per_task_overhead_seconds = 0.0) const;
+  // One dispatched task of the executed schedule. `worker` is the CPU worker
+  // slot in [0, workers) for pool tasks and the lane id for lane tasks;
+  // `finish - start` includes the per-task overhead for pool tasks.
+  struct Scheduled {
+    int task = -1;
+    int worker = -1;
+    double start = 0.0;
+    double finish = 0.0;
+  };
+
+  // Greedy list-scheduled makespan on `workers` CPU cores plus every lane.
+  // Ready tasks are dispatched in ascending task id; each CPU-pool task pays
+  // `per_task_overhead_seconds` extra (task creation + scheduling cost).
+  // When `schedule` is non-null it receives the executed dispatch, ordered
+  // by (start, task id).
+  double makespan(int workers, double per_task_overhead_seconds = 0.0,
+                  std::vector<Scheduled>* schedule = nullptr) const;
 
  private:
   std::vector<double> duration_;
+  std::vector<int> lane_;  // kCpuPool or lane id per task
   std::vector<std::vector<int>> out_edges_;
   std::vector<int> in_degree_;
+  int num_lanes_ = 0;
 };
 
 }  // namespace afmm

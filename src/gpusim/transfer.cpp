@@ -64,6 +64,7 @@ StepTimeline plan_step(const TransferLinkConfig& link,
   tl.launch_seconds = link.host_launch_us * 1e-6 *
                       static_cast<double>(std::max<std::size_t>(gpus.size(), 1));
   std::uint64_t key = 0;
+  double download_stream_max = 0.0;
   for (const auto& g : gpus) {
     int up_retries = 0;
     int down_retries = 0;
@@ -75,14 +76,23 @@ StepTimeline plan_step(const TransferLinkConfig& link,
                                       &down_retries);
     // Upload then kernel on this GPU's stream; GPUs run concurrently.
     tl.gpu_done_seconds = std::max(tl.gpu_done_seconds, up + g.kernel_seconds);
-    // Downloads happen in the blocking gather; bandwidth overlaps across
-    // GPUs (each has its own link in the paper's 4-GPU node), so the gather
-    // cost is the slowest single download.
-    tl.download_seconds = std::max(tl.download_seconds, down);
+    // Downloads happen in the blocking gather, issued by one host thread:
+    // the per-transfer setup latency and any retry + backoff delay serialize
+    // across GPUs, while the bulk bytes stream concurrently on the per-GPU
+    // links (each has its own link in the paper's 4-GPU node) --
+    //   download = sum_i(latency_i + retry_i) + max_i(bytes_i / bandwidth).
+    const double down_once = transfer_seconds(link, g.download_bytes);
+    const double down_latency =
+        g.download_bytes > 0 ? link.latency_us * 1e-6 : 0.0;
+    tl.download_seconds += down_latency + (down - down_once);
+    download_stream_max = std::max(download_stream_max, down_once - down_latency);
     tl.retries += up_retries + down_retries;
     tl.retry_seconds += (up - transfer_seconds(link, g.upload_bytes)) +
-                        (down - transfer_seconds(link, g.download_bytes));
+                        (down - down_once);
+    tl.upload_each.push_back(up);
+    tl.download_each.push_back(down);
   }
+  tl.download_seconds += download_stream_max;
   return tl;
 }
 

@@ -16,7 +16,15 @@
 //
 //   step = launch_host + max(CPU_far_field, upload + kernel) + download
 //
-// which reduces to the paper's max(CPU, GPU) when transfer times are small.
+// where the blocking gather issues one cudaMemcpy per GPU from a single host
+// thread, so the per-transfer setup latencies (and any retry + backoff
+// delays) SERIALIZE across GPUs while the bulk bytes stream concurrently on
+// the per-GPU links:
+//
+//   download = sum_i(latency_i + retry_i) + max_i(bytes_i / bandwidth)
+//
+// The whole model reduces to the paper's max(CPU, GPU) when transfer times
+// are zero.
 //
 // Transient link faults: when a TransferFaultModel with fail_prob > 0 is
 // supplied, each transfer attempt can fail and is retried with exponential
@@ -66,6 +74,12 @@ struct StepTimeline {
   double download_seconds = 0.0;  // blocking gather after CPU work is done
   double retry_seconds = 0.0;     // total failed-attempt + backoff time paid
   int retries = 0;                // failed transfer attempts across all GPUs
+  // Per-input-shape retry-inclusive transfer times, in plan_step input
+  // order. The DAG executor uses these as the per-GPU lane segment
+  // durations (lanes stream independently, so each lane pays its own full
+  // transfer rather than the host-serialized gather formula above).
+  std::vector<double> upload_each;
+  std::vector<double> download_each;
   // Wall clock of the heterogeneous step given the CPU far-field time.
   double step_seconds(double cpu_far_field_seconds) const {
     const double concurrent =
@@ -90,9 +104,10 @@ double transfer_seconds_with_retries(const TransferLinkConfig& link,
 // Builds the step timeline for a set of per-GPU shapes. Uploads/kernels of
 // different GPUs overlap with each other and with the CPU far field;
 // downloads happen in the blocking gather and are serialized per link
-// latency but overlap across GPUs in bandwidth. The fault overload charges
-// retry-with-backoff delays per transfer (uploads delay that GPU's kernel
-// completion; download retries stretch the blocking gather).
+// latency but overlap across GPUs in bandwidth (the download formula in the
+// header comment above). The fault overload charges retry-with-backoff
+// delays per transfer (uploads delay that GPU's kernel completion; download
+// retries stretch the serialized part of the blocking gather).
 StepTimeline plan_step(const TransferLinkConfig& link,
                        const std::vector<GpuTransferShape>& gpus);
 StepTimeline plan_step(const TransferLinkConfig& link,

@@ -131,6 +131,11 @@ void put_observed(ByteWriter& w, const ObservedStepTimes& t) {
   w.f64(t.t_l2p);
   w.f64(t.t_m2p);
   w.f64(t.t_p2l);
+  w.f64(t.cpu_up_seconds);
+  w.f64(t.cpu_down_seconds);
+  w.f64(t.overlap_seconds);
+  w.f64(t.overlap_cpu_seconds);
+  w.f64(t.overlap_near_seconds);
 }
 
 ObservedStepTimes get_observed(ByteReader& r) {
@@ -147,6 +152,11 @@ ObservedStepTimes get_observed(ByteReader& r) {
   t.t_l2p = r.f64();
   t.t_m2p = r.f64();
   t.t_p2l = r.f64();
+  t.cpu_up_seconds = r.f64();
+  t.cpu_down_seconds = r.f64();
+  t.overlap_seconds = r.f64();
+  t.overlap_cpu_seconds = r.f64();
+  t.overlap_near_seconds = r.f64();
   return t;
 }
 
@@ -242,7 +252,12 @@ void put_balancer(ByteWriter& w, const LoadBalancerSnapshot& b) {
   w.f64(c.p2p);
   w.f64(c.p2p_cpu);
   w.f64(c.cpu_efficiency);
+  w.f64(c.up_efficiency);
+  w.f64(c.down_efficiency);
+  w.f64(c.overlap_efficiency);
+  w.f64(c.near_overhead_seconds);
   w.i32(b.model.observations);
+  w.i32(b.model.overlap_observations);
 }
 
 bool get_balancer(ByteReader& r, LoadBalancerSnapshot& b) {
@@ -267,7 +282,12 @@ bool get_balancer(ByteReader& r, LoadBalancerSnapshot& b) {
   c.p2p = r.f64();
   c.p2p_cpu = r.f64();
   c.cpu_efficiency = r.f64();
+  c.up_efficiency = r.f64();
+  c.down_efficiency = r.f64();
+  c.overlap_efficiency = r.f64();
+  c.near_overhead_seconds = r.f64();
   b.model.observations = r.i32();
+  b.model.overlap_observations = r.i32();
   return r.ok();
 }
 

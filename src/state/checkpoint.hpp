@@ -55,7 +55,10 @@ inline constexpr std::uint32_t kCheckpointMagic = 0x4D4D4641;  // "AFMM"
 // section-id or section-count byte can no longer slip past validation.
 // v4: injector section gains the fired high-water mark, so a resumed run
 // never re-fires an already-applied silent-corruption event.
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+// v5: observed section gains the per-sweep split and the overlap makespans;
+// balancer section gains the per-sweep / overlap efficiencies, the near
+// overhead coefficient, and the overlap observation count.
+inline constexpr std::uint32_t kCheckpointVersion = 5;
 
 enum class SimKind : std::uint32_t { kGravity = 0, kStokes = 1 };
 

@@ -40,7 +40,9 @@
 namespace afmm {
 
 inline constexpr std::uint32_t kShardMagic = 0x534D4641;  // "AFMS"
-inline constexpr std::uint32_t kShardVersion = 1;
+// v2: the shared observed/balancer encoders (checkpoint v5) grew the overlap
+// fields, changing the wire layout of the control file.
+inline constexpr std::uint32_t kShardVersion = 2;
 
 // What a coordinated save captures: the full single-engine checkpoint, the
 // cluster layer's opaque state blob (shard map, per-node health, failure

@@ -363,6 +363,45 @@ TEST(LoadBalancer, IncrementalTransitionRecordsObservedComputeExactly) {
   EXPECT_DOUBLE_EQ(r.best_compute, 1.0);
 }
 
+TEST(LoadBalancer, OverlapAwareSwitchSelectsTheObjective) {
+  // Two balancers digest the same overlap-executed step (event-driven
+  // makespan 0.8 vs serialized max 1.0): the overlap-aware one optimizes
+  // what the step actually cost, the ablation arm keeps scoring the
+  // serialized timeline.
+  Rng rng(99);
+  auto set = uniform_cube(2000, rng, {0.5, 0.5, 0.5}, 0.5);
+  NodeSimulator node(CpuModelConfig{}, GpuSystemConfig::uniform(2));
+
+  ObservedStepTimes obs;
+  obs.cpu_seconds = 1.0;
+  obs.gpu_seconds = 1.0;
+  obs.overlap_seconds = 0.8;
+  obs.overlap_cpu_seconds = 0.8;
+  obs.overlap_near_seconds = 0.6;
+  ASSERT_DOUBLE_EQ(obs.compute_seconds(), 0.8);
+  ASSERT_DOUBLE_EQ(obs.serialized_compute_seconds(), 1.0);
+
+  LoadBalancerConfig cfg;
+  cfg.strategy = LbStrategy::kFull;
+  cfg.enable_fgo = false;
+  ASSERT_TRUE(cfg.overlap_aware);  // the default optimizes elapsed time
+
+  LoadBalancer aware(cfg, TraversalConfig{});
+  AdaptiveOctree tree;
+  tree.build(set.positions, unit_config(cfg.initial_S));
+  auto r = aware.post_step(tree, set.positions, obs, node);
+  ASSERT_EQ(r.state_after, LbState::kIncremental);  // balanced: search done
+  EXPECT_DOUBLE_EQ(r.best_compute, 0.8);
+
+  cfg.overlap_aware = false;
+  LoadBalancer serialized(cfg, TraversalConfig{});
+  AdaptiveOctree tree2;
+  tree2.build(set.positions, unit_config(cfg.initial_S));
+  r = serialized.post_step(tree2, set.positions, obs, node);
+  ASSERT_EQ(r.state_after, LbState::kIncremental);
+  EXPECT_DOUBLE_EQ(r.best_compute, 1.0);
+}
+
 TEST(LoadBalancer, ToStringCoversEnums) {
   EXPECT_STREQ(to_string(LbState::kSearch), "search");
   EXPECT_STREQ(to_string(LbState::kIncremental), "incremental");

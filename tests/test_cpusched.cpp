@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "cpusched/task_sim.hpp"
@@ -134,6 +138,228 @@ TEST(TaskSim, WideTreeSpeedupNearLinear) {
   const double s1 = g.makespan(1);
   const double s64 = g.makespan(64);
   EXPECT_GT(s1 / s64, 55.0);
+}
+
+TEST(TaskSim, DiamondScheduleIgnoresEdgeInsertionOrder) {
+  // Same diamond DAG (a -> {b, c} -> d) with edges declared in two
+  // different orders: the dispatch order is a property of the graph (ready
+  // tasks run by ascending id), never of add_dependency call order.
+  auto build = [](bool reversed) {
+    TaskGraphSim g;
+    const int a = g.add_task(1.0);
+    const int b = g.add_task(2.0);
+    const int c = g.add_task(3.0);
+    const int d = g.add_task(1.0);
+    if (reversed) {
+      g.add_dependency(c, d);
+      g.add_dependency(b, d);
+      g.add_dependency(a, c);
+      g.add_dependency(a, b);
+    } else {
+      g.add_dependency(a, b);
+      g.add_dependency(a, c);
+      g.add_dependency(b, d);
+      g.add_dependency(c, d);
+    }
+    return g;
+  };
+  for (int p : {1, 2, 4}) {
+    std::vector<TaskGraphSim::Scheduled> s1, s2;
+    const double m1 = build(false).makespan(p, 0.0, &s1);
+    const double m2 = build(true).makespan(p, 0.0, &s2);
+    EXPECT_DOUBLE_EQ(m1, m2) << "p=" << p;
+    ASSERT_EQ(s1.size(), s2.size()) << "p=" << p;
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+      EXPECT_EQ(s1[i].task, s2[i].task) << "p=" << p << " i=" << i;
+      EXPECT_EQ(s1[i].worker, s2[i].worker) << "p=" << p << " i=" << i;
+      EXPECT_DOUBLE_EQ(s1[i].start, s2[i].start) << "p=" << p << " i=" << i;
+      EXPECT_DOUBLE_EQ(s1[i].finish, s2[i].finish) << "p=" << p << " i=" << i;
+    }
+  }
+  // With one worker the serial order itself is pinned: a, b, c, d.
+  std::vector<TaskGraphSim::Scheduled> serial;
+  build(true).makespan(1, 0.0, &serial);
+  ASSERT_EQ(serial.size(), 4u);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i].task, static_cast<int>(i));
+}
+
+TEST(TaskSim, RejectsBadDurations) {
+  TaskGraphSim g;
+  EXPECT_THROW(g.add_task(-1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_task(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(g.add_task(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(g.add_lane_task(0, -0.5), std::invalid_argument);
+  EXPECT_THROW(g.add_lane_task(-1, 1.0), std::invalid_argument);
+  EXPECT_EQ(g.num_tasks(), 0);  // rejected tasks leave no residue
+}
+
+TEST(TaskSim, RejectsBadOverhead) {
+  TaskGraphSim g;
+  g.add_task(1.0);
+  EXPECT_THROW(g.makespan(1, -1e-9), std::invalid_argument);
+  EXPECT_THROW(g.makespan(1, std::nan("")), std::invalid_argument);
+  EXPECT_THROW(g.critical_path(std::nan("")), std::invalid_argument);
+}
+
+TEST(TaskSim, RejectsBadDependencies) {
+  TaskGraphSim g;
+  const int a = g.add_task(1.0);
+  EXPECT_THROW(g.add_dependency(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_dependency(a, 7), std::invalid_argument);
+  EXPECT_THROW(g.add_dependency(-1, a), std::invalid_argument);
+  EXPECT_THROW(g.makespan(-3), std::invalid_argument);
+}
+
+TEST(TaskSim, CycleIsInvalidArgument) {
+  // DetectsCycle above accepts any logic_error; the contract is the
+  // stricter std::invalid_argument (which IS-A logic_error).
+  TaskGraphSim g;
+  const int a = g.add_task(1.0);
+  const int b = g.add_task(1.0);
+  const int c = g.add_task(1.0);
+  g.add_dependency(a, b);
+  g.add_dependency(b, c);
+  g.add_dependency(c, a);
+  EXPECT_THROW(g.makespan(4), std::invalid_argument);
+  EXPECT_THROW(g.critical_path(), std::invalid_argument);
+}
+
+// Tiny deterministic generator (SplitMix64) so the property tests are
+// seeded and reproducible without pulling in util/rng.
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+TEST(TaskSim, RandomDagsObeyGreedyBounds) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    std::uint64_t s = seed * 0x5851f42d4c957f2dull;
+    TaskGraphSim g;
+    const int n = 5 + static_cast<int>(splitmix(s) % 60);
+    for (int i = 0; i < n; ++i)
+      g.add_task(1e-4 * static_cast<double>(splitmix(s) % 10'000));
+    // Edges only from lower to higher id: acyclic by construction.
+    for (int t = 1; t < n; ++t)
+      for (int e = static_cast<int>(splitmix(s) % 3); e > 0; --e)
+        g.add_dependency(static_cast<int>(splitmix(s) %
+                                          static_cast<std::uint64_t>(t)),
+                         t);
+    const double ov = (seed % 3 == 0) ? 2e-4 : 0.0;
+    const double work = g.total_work() + n * ov;
+    const double cp = g.critical_path(ov);
+    // One worker serializes everything, overhead included.
+    EXPECT_NEAR(g.makespan(1, ov), work, 1e-9 * std::max(1.0, work))
+        << "seed=" << seed;
+    for (int p : {2, 3, 7, 16}) {
+      const double m = g.makespan(p, ov);
+      EXPECT_GE(m, std::max(work / p, cp) - 1e-12)
+          << "seed=" << seed << " p=" << p;
+      EXPECT_LE(m, work / p + cp + 1e-12) << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(TaskSim, LaneTasksSerializePerLane) {
+  // Three independent segments on one lane never run concurrently, no
+  // matter how many CPU workers exist.
+  TaskGraphSim g;
+  g.add_lane_task(0, 1.0);
+  g.add_lane_task(0, 2.0);
+  g.add_lane_task(0, 3.0);
+  EXPECT_DOUBLE_EQ(g.makespan(8), 6.0);
+  // A second lane streams concurrently with the first.
+  g.add_lane_task(1, 4.0);
+  EXPECT_EQ(g.num_lanes(), 2);
+  EXPECT_DOUBLE_EQ(g.makespan(8), 6.0);
+  // Lane tasks pay no per-task overhead; the pool does.
+  const int cpu = g.add_task(1.0);
+  EXPECT_EQ(g.task_lane(cpu), TaskGraphSim::kCpuPool);
+  EXPECT_DOUBLE_EQ(g.makespan(8, 0.5), 6.0);
+}
+
+TEST(TaskSim, LanesOverlapWithCpuPool) {
+  // upload -> kernel -> download on a lane, plus CPU far-field work: the
+  // event-driven makespan is max(cpu, lane chain), not the sum.
+  TaskGraphSim g;
+  const int up = g.add_lane_task(0, 0.2);
+  const int k = g.add_lane_task(0, 0.5);
+  const int down = g.add_lane_task(0, 0.3);
+  g.add_dependency(up, k);
+  g.add_dependency(k, down);
+  for (int i = 0; i < 8; ++i) g.add_task(0.1);
+  EXPECT_DOUBLE_EQ(g.makespan(2), 1.0);   // lane chain dominates
+  EXPECT_DOUBLE_EQ(g.makespan(1), 1.0);   // CPU side: 0.8 < 1.0, still hidden
+  TaskGraphSim wide;
+  const int u2 = wide.add_lane_task(0, 0.2);
+  const int k2 = wide.add_lane_task(0, 0.5);
+  wide.add_dependency(u2, k2);
+  for (int i = 0; i < 8; ++i) wide.add_task(1.0);
+  EXPECT_DOUBLE_EQ(wide.makespan(4), 2.0);  // CPU dominates: 8 / 4 workers
+}
+
+TEST(TaskSim, ScheduleIsWellFormed) {
+  // Random DAG with lanes: the reported schedule must respect worker
+  // exclusivity and every dependency edge.
+  std::uint64_t s = 0xabcdef12345ull;
+  TaskGraphSim g;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    if (splitmix(s) % 4 == 0)
+      g.add_lane_task(static_cast<int>(splitmix(s) % 2),
+                      1e-3 * static_cast<double>(1 + splitmix(s) % 500));
+    else
+      g.add_task(1e-3 * static_cast<double>(1 + splitmix(s) % 500));
+  }
+  std::vector<std::pair<int, int>> edges;
+  for (int t = 1; t < n; ++t)
+    if (splitmix(s) % 2 == 0) {
+      const int from =
+          static_cast<int>(splitmix(s) % static_cast<std::uint64_t>(t));
+      g.add_dependency(from, t);
+      edges.emplace_back(from, t);
+    }
+  const int workers = 3;
+  const double ov = 1e-4;
+  std::vector<TaskGraphSim::Scheduled> sched;
+  const double m = g.makespan(workers, ov, &sched);
+  ASSERT_EQ(sched.size(), static_cast<std::size_t>(n));
+  std::vector<TaskGraphSim::Scheduled> by_task(n);
+  for (const auto& e : sched) {
+    ASSERT_GE(e.task, 0);
+    ASSERT_LT(e.task, n);
+    by_task[static_cast<std::size_t>(e.task)] = e;
+    EXPECT_LE(e.finish, m + 1e-12);
+    EXPECT_GE(e.finish, e.start);
+    EXPECT_GE(e.start, 0.0);
+  }
+  // Dependencies: successor starts at or after predecessor finishes.
+  for (const auto& [from, to] : edges)
+    EXPECT_GE(by_task[static_cast<std::size_t>(to)].start,
+              by_task[static_cast<std::size_t>(from)].finish - 1e-12);
+  // Exclusivity: no two tasks on the same CPU slot (or the same lane)
+  // overlap in time.
+  auto overlap = [](const TaskGraphSim::Scheduled& a,
+                    const TaskGraphSim::Scheduled& b) {
+    return a.start < b.finish - 1e-12 && b.start < a.finish - 1e-12;
+  };
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b) {
+      const bool a_pool = g.task_lane(a) == TaskGraphSim::kCpuPool;
+      const bool b_pool = g.task_lane(b) == TaskGraphSim::kCpuPool;
+      if (a_pool != b_pool) continue;
+      const bool same = a_pool
+                            ? by_task[a].worker == by_task[b].worker
+                            : g.task_lane(a) == g.task_lane(b);
+      if (same) {
+        EXPECT_FALSE(overlap(by_task[a], by_task[b]))
+            << "tasks " << a << " and " << b;
+      }
+    }
 }
 
 }  // namespace

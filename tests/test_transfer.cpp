@@ -29,8 +29,12 @@ TEST(Transfer, StepTimelineOverlapsCpuAndGpu) {
   // GPU side: slowest = upload(1MB) + 20ms kernel.
   const double upload = transfer_seconds(link, 1'000'000);
   EXPECT_NEAR(tl.gpu_done_seconds, upload + 0.020, 1e-12);
-  // Downloads overlap across GPUs: cost of the slowest single download.
-  EXPECT_NEAR(tl.download_seconds, transfer_seconds(link, 500'000), 1e-12);
+  // Gather: one host thread issues the cudaMemcpys, so the per-transfer
+  // setup latencies serialize while the bulk bytes stream concurrently:
+  //   download = sum_i latency_i + max_i(bytes_i / bandwidth).
+  const double latency = link.latency_us * 1e-6;
+  const double stream = transfer_seconds(link, 500'000) - latency;
+  EXPECT_NEAR(tl.download_seconds, 2.0 * latency + stream, 1e-12);
 
   // CPU-bound step: GPU time hides entirely under the CPU far field.
   const double cpu = 0.050;
@@ -67,6 +71,15 @@ TEST(Transfer, SmallTransfersReduceToMaxCpuGpu) {
   const auto tl = plan_step(link, gpus);
   EXPECT_DOUBLE_EQ(tl.step_seconds(0.05), 0.05);
   EXPECT_DOUBLE_EQ(tl.step_seconds(0.005), 0.02);
+
+  // The reduction holds per GPU count: with zero-byte transfers the
+  // serialized gather contributes nothing even across multiple devices.
+  std::vector<GpuTransferShape> four{{0, 0, 0.02}, {0, 0, 0.01},
+                                     {0, 0, 0.03}, {0, 0, 0.005}};
+  const auto tl4 = plan_step(link, four);
+  EXPECT_DOUBLE_EQ(tl4.download_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(tl4.step_seconds(0.05), 0.05);
+  EXPECT_DOUBLE_EQ(tl4.step_seconds(0.005), 0.03);
 }
 
 }  // namespace
