@@ -143,8 +143,7 @@ int main(int argc, char** argv) {
     std::vector<double> tail;
     for (int i = std::max(lo, hi - 5); i < hi; ++i)
       tail.push_back(rows[i].compute);
-    std::sort(tail.begin(), tail.end());
-    const double steady = tail[tail.size() / 2];
+    const double steady = p50(std::move(tail));
     const double band = steady * (1.0 + lb_cfg.band);
     int to_band = -1;
     double worst = 0.0;

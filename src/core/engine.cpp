@@ -32,12 +32,37 @@ bool sdc_repairable(const AuditReport& report) {
 template <class Problem>
 SimulationEngine<Problem>::SimulationEngine(const EngineConfig& config,
                                             Problem problem)
+    : SimulationEngine(DeferredInit{}, config, std::move(problem)) {
+  prepare();
+}
+
+template <class Problem>
+SimulationEngine<Problem>::SimulationEngine(DeferredInit,
+                                            const EngineConfig& config,
+                                            Problem problem)
     : config_(config),
       problem_(std::move(problem)),
       balancer_(config.balancer, config.fmm.traversal),
       injector_(config.faults, config.fault_seed) {
   problem_.set_list_cache(&list_cache_);
   balancer_.set_list_cache(&list_cache_);
+}
+
+template <class Problem>
+SimulationEngine<Problem>::SimulationEngine(const EngineConfig& config,
+                                            Problem problem,
+                                            const SimCheckpoint& ckpt)
+    : SimulationEngine(DeferredInit{}, config, std::move(problem)) {
+  restore(ckpt);
+  prepared_ = true;  // the snapshot IS the prepared state
+  init_resilience();
+  init_obs();
+}
+
+template <class Problem>
+void SimulationEngine<Problem>::prepare() {
+  if (prepared_) return;
+  prepared_ = true;
   TreeConfig tc = config_.tree;
   tc.leaf_capacity = config_.balancer.initial_S;
   tree_.build(problem_.positions(), tc);
@@ -47,30 +72,14 @@ SimulationEngine<Problem>::SimulationEngine(const EngineConfig& config,
 }
 
 template <class Problem>
-SimulationEngine<Problem>::SimulationEngine(const EngineConfig& config,
-                                            Problem problem,
-                                            const SimCheckpoint& ckpt)
-    : config_(config),
-      problem_(std::move(problem)),
-      balancer_(config.balancer, config.fmm.traversal),
-      injector_(config.faults, config.fault_seed) {
-  problem_.set_list_cache(&list_cache_);
-  balancer_.set_list_cache(&list_cache_);
-  restore(ckpt);
-  init_resilience();
-  init_obs();
-}
-
-template <class Problem>
 void SimulationEngine<Problem>::init_obs() {
-  if (config_.obs.trace) {
+  if (config_.obs.trace && !ext_trace_)
     trace_ = std::make_unique<TraceRecorder>();
-    balancer_.set_trace(trace_.get(), &virtual_now_);
-  }
-  if (config_.obs.metrics) {
+  if (config_.obs.metrics && !ext_metrics_) {
     metrics_ = std::make_unique<MetricsRegistry>();
     register_step_metrics(*metrics_);
   }
+  if (active_trace()) balancer_.set_trace(active_trace(), &virtual_now_);
 }
 
 template <class Problem>
@@ -78,12 +87,54 @@ void SimulationEngine<Problem>::init_resilience() {
   const ResilienceConfig& rz = config_.resilience;
   if (!rz.enabled()) return;
   watchdog_ = StepWatchdog(rz.watchdog);
-  if (!rz.checkpoint_dir.empty())
-    store_.emplace(rz.checkpoint_dir, rz.checkpoint_keep);
+  if (!rz.checkpoint_dir.empty()) {
+    std::string owner = rz.checkpoint_owner;
+    if (owner.empty()) {
+      // No explicit namespace: claim the first free one for this dir so
+      // engines sharing a checkpoint_dir in one process never rotate each
+      // other's snapshots. The first claimant keeps the legacy bare names
+      // (a later process resuming from this dir finds them unchanged).
+      owner_claim_ = CheckpointOwnerClaim::claim(rz.checkpoint_dir);
+      owner = owner_claim_.owner();
+    }
+    store_.emplace(rz.checkpoint_dir, rz.checkpoint_keep, owner);
+  }
   // Seed the rollback target so recovery works before the first scheduled
   // checkpoint. For a restored run this re-snapshots the restored state.
   last_good_ = checkpoint();
   if (store_ && rz.checkpoint_interval > 0) store_->save(*last_good_);
+}
+
+template <class Problem>
+void SimulationEngine<Problem>::set_external_obs(TraceRecorder* trace,
+                                                 MetricsRegistry* metrics,
+                                                 std::string tenant) {
+  if (first_step_done_)
+    throw std::logic_error(
+        "set_external_obs must be called before the first step taken on "
+        "this engine");
+  if (!valid_store_owner(tenant))
+    throw std::invalid_argument("tenant '" + tenant +
+                                "' invalid: only [A-Za-z0-9.-] allowed");
+  ext_trace_ = trace;
+  ext_metrics_ = metrics;
+  tenant_ = std::move(tenant);
+  if (ext_metrics_) register_step_metrics(*ext_metrics_, tenant_);
+  // A prepared engine already wired the balancer to its (possibly null) own
+  // recorder; re-point it at the sink now in effect.
+  if (prepared_ && active_trace())
+    balancer_.set_trace(active_trace(), &virtual_now_);
+}
+
+template <class Problem>
+double SimulationEngine<Problem>::predicted_step_seconds() const {
+  if (!prepared_ || !last_observed_) return 1e-3;  // nominal pre-solve guess
+  const CostModel& cm = balancer_.cost_model();
+  if (cm.ready())
+    return cm.predict_far(last_observed_->counts,
+                          problem_.node().effective_cores()) +
+           cm.predict_near(last_observed_->counts);
+  return last_observed_->compute_seconds();
 }
 
 template <class Problem>
@@ -92,7 +143,14 @@ void SimulationEngine<Problem>::initial_solve() {
 }
 
 template <class Problem>
-StepRecord SimulationEngine<Problem>::step() {
+StepRecord SimulationEngine<Problem>::step_once() {
+  prepare();
+  first_step_done_ = true;
+  return step_guarded();
+}
+
+template <class Problem>
+StepRecord SimulationEngine<Problem>::step_guarded() {
   const ResilienceConfig& rz = config_.resilience;
   if (!rz.enabled()) {
     StepRecord rec = step_core();
@@ -166,7 +224,8 @@ void SimulationEngine<Problem>::finish_step_obs(const StepRecord& rec) {
   in.cache_builds = list_cache_.builds();
   in.cache_hits = list_cache_.hits();
   in.cache_refreshes = list_cache_.refreshes();
-  virtual_now_ += emit_step(trace_.get(), metrics_.get(), in);
+  in.tenant = tenant_;
+  virtual_now_ += emit_step(active_trace(), active_metrics(), in);
   pending_obs_.reset();
 }
 
@@ -212,7 +271,7 @@ StepRecord SimulationEngine<Problem>::step_core() {
     rec.predicted_near_seconds =
         balancer_.cost_model().predict_near(res.times.counts);
   }
-  if (trace_ || metrics_) {
+  if (active_trace() || active_metrics()) {
     PendingObs obs;
     obs.times = res.times;
     obs.gpu = res.gpu;
@@ -254,7 +313,7 @@ template <class Problem>
 std::vector<StepRecord> SimulationEngine<Problem>::run(int n) {
   std::vector<StepRecord> out;
   out.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) out.push_back(step());
+  for (int i = 0; i < n; ++i) out.push_back(step_once());
   return out;
 }
 

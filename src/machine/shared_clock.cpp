@@ -1,0 +1,36 @@
+#include "machine/shared_clock.hpp"
+
+#include <algorithm>
+
+namespace afmm {
+
+double SharedMachineClock::acquire(const std::string& owner, double seconds) {
+  seconds = std::max(0.0, seconds);
+  const double start = now_;
+  occupancy_.push_back({owner, start, seconds});
+  auto it = std::find_if(per_owner_.begin(), per_owner_.end(),
+                         [&](const OwnerBusy& b) { return b.owner == owner; });
+  if (it == per_owner_.end()) {
+    per_owner_.push_back({owner, 0.0, 0});
+    it = per_owner_.end() - 1;
+  }
+  it->seconds += seconds;
+  ++it->intervals;
+  busy_seconds_ += seconds;
+  now_ += seconds;
+  return start;
+}
+
+void SharedMachineClock::idle(double seconds) {
+  seconds = std::max(0.0, seconds);
+  idle_seconds_ += seconds;
+  now_ += seconds;
+}
+
+double SharedMachineClock::owner_seconds(const std::string& owner) const {
+  for (const auto& b : per_owner_)
+    if (b.owner == owner) return b.seconds;
+  return 0.0;
+}
+
+}  // namespace afmm

@@ -1,0 +1,67 @@
+// One virtual timeline shared by every tenant of a machine model.
+//
+// Each engine historically owned virtual-time zero: two engines' traces both
+// start at t=0 and cannot be laid on one timeline. The multi-tenant service
+// instead advances a single SharedMachineClock: every scheduled step
+// acquires an EXCLUSIVE occupancy interval [start, start + seconds) for its
+// owner (the machine model simulates one machine -- two sessions cannot
+// compute on it at the same virtual instant), and idle() records the gaps
+// when no session is runnable. The clock is pure accounting: it never feeds
+// back into physics, so trajectories stay bit-identical whether a session
+// runs alone or interleaved with a hundred others.
+//
+// Determinism: intervals are handed out in call order and the per-owner
+// rollup is kept in FIRST-USE order, so a fixed admission/schedule sequence
+// reproduces byte-identical occupancy logs and utilization numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace afmm {
+
+class SharedMachineClock {
+ public:
+  // One exclusive occupancy interval of the machine.
+  struct Interval {
+    std::string owner;
+    double start = 0.0;
+    double seconds = 0.0;
+  };
+  // Per-owner busy rollup, in first-use order.
+  struct OwnerBusy {
+    std::string owner;
+    double seconds = 0.0;
+    int intervals = 0;
+  };
+
+  double now() const { return now_; }
+
+  // Reserve [now, now + seconds) exclusively for `owner`; advances the
+  // clock and returns the interval's start. Negative durations clamp to 0.
+  double acquire(const std::string& owner, double seconds);
+
+  // Advance the clock with no owner (all sessions idle or evicted).
+  void idle(double seconds);
+
+  const std::vector<Interval>& occupancy() const { return occupancy_; }
+  const std::vector<OwnerBusy>& per_owner() const { return per_owner_; }
+  double busy_seconds() const { return busy_seconds_; }
+  double idle_seconds() const { return idle_seconds_; }
+  // busy / elapsed; 1.0 on an empty clock (nothing wasted yet).
+  double utilization() const {
+    return now_ > 0.0 ? busy_seconds_ / now_ : 1.0;
+  }
+  // Total busy seconds attributed to `owner` (0 when never seen).
+  double owner_seconds(const std::string& owner) const;
+
+ private:
+  double now_ = 0.0;
+  double busy_seconds_ = 0.0;
+  double idle_seconds_ = 0.0;
+  std::vector<Interval> occupancy_;
+  std::vector<OwnerBusy> per_owner_;
+};
+
+}  // namespace afmm

@@ -1,0 +1,83 @@
+// Type-erased session engines for the multi-tenant simulation service.
+//
+// The service schedules hundreds of concurrent simulations -- gravity and
+// Stokes mixed freely -- over one machine model, so it cannot hold
+// SimulationEngine<Problem> by value. SessionEngine erases the Problem
+// parameter down to exactly the surface the scheduler needs: the resumable
+// step_once()/prepare() seam, the cost-model step forecast the DRR quota is
+// charged against, checkpoint() for eviction, and the obs attachment points.
+//
+// A SessionFactory bundles the two ways a session's engine comes into
+// existence: `fresh` builds it from the session's initial conditions
+// (deferred -- admission stays O(1), the tree build and priming solve run on
+// the first scheduled step), and `restore` rebuilds it from the eviction
+// snapshot. Both closures capture the full problem recipe (config, machine
+// model, distribution, force model), which is what makes eviction
+// transparent: restore(checkpoint()) continues the EXACT trajectory, bit for
+// bit, the resident engine would have produced.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/engine.hpp"
+
+namespace afmm {
+
+class SessionEngine {
+ public:
+  virtual ~SessionEngine() = default;
+
+  virtual SimKind kind() const = 0;
+  virtual bool prepared() const = 0;
+  virtual void prepare() = 0;
+  virtual StepRecord step_once() = 0;
+  virtual int steps_taken() const = 0;
+
+  // Cost forecast for the next step (see SimulationEngine); the DRR
+  // scheduler requires this much deficit before granting the step.
+  virtual double predicted_step_seconds() const = 0;
+
+  // Eviction snapshot (full SimCheckpoint of the underlying engine).
+  virtual SimCheckpoint checkpoint() const = 0;
+
+  // Obs routing (see SimulationEngine::set_external_obs / set_virtual_now).
+  virtual void set_external_obs(TraceRecorder* trace, MetricsRegistry* metrics,
+                                std::string tenant) = 0;
+  virtual void set_virtual_now(double t) = 0;
+  virtual double virtual_now() const = 0;
+
+  // FNV-1a fingerprint of the session's physical state (positions,
+  // velocities, derived arrays) -- what the bit-identity gates compare
+  // between a multiplexed session and the same session run alone.
+  virtual std::uint64_t state_fingerprint() const = 0;
+};
+
+// How the service materializes a session's engine: fresh at admission,
+// restored after an eviction. Both must be deterministic closures over the
+// same problem recipe.
+struct SessionFactory {
+  std::function<std::unique_ptr<SessionEngine>()> fresh;
+  std::function<std::unique_ptr<SessionEngine>(const SimCheckpoint&)> restore;
+};
+
+// Canonical factories for the two Problem classes. The recipe arguments are
+// captured by value so the closures stay valid for the session's lifetime;
+// `node` is the per-session machine model INSTANCE (sessions of one service
+// share the machine's configuration, not its mutable health state -- each
+// engine owns its copy, exactly as a checkpointed solo run would).
+SessionFactory gravity_session_factory(EngineConfig config, double grav_const,
+                                       double softening, NodeSimulator node,
+                                       ParticleSet bodies);
+
+// The last parameter is core/problems.hpp's ForceModel, spelled out so this
+// header stays independent of the problem definitions.
+SessionFactory stokes_session_factory(
+    EngineConfig config, double epsilon, double viscosity, NodeSimulator node,
+    std::vector<Vec3> positions,
+    std::function<void(std::span<const Vec3>, std::span<Vec3>)> force_model);
+
+}  // namespace afmm

@@ -6,6 +6,10 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
 
 #include "state/checkpoint_detail.hpp"
 #include "state/serial.hpp"
@@ -571,8 +575,98 @@ std::optional<SimCheckpoint> load_checkpoint_file(const std::string& path,
   return decode_checkpoint(bytes, error);
 }
 
-CheckpointStore::CheckpointStore(std::string dir, int keep)
-    : dir_(std::move(dir)), keep_(std::max(1, keep)) {
+bool valid_store_owner(const std::string& owner) {
+  for (char c : owner) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool match_owned_snapshot(const std::string& name, const std::string& owner,
+                          const std::string& stem,
+                          std::initializer_list<int> digit_groups,
+                          const std::string& suffix) {
+  const std::string prefix = owner.empty() ? stem : owner + "_" + stem;
+  if (name.rfind(prefix, 0) != 0) return false;
+  std::size_t pos = prefix.size();
+  bool first = true;
+  for (int width : digit_groups) {
+    if (!first) {
+      if (pos >= name.size() || name[pos] != '_') return false;
+      ++pos;
+    }
+    first = false;
+    if (name.size() < pos + static_cast<std::size_t>(width)) return false;
+    for (int i = 0; i < width; ++i) {
+      const char c = name[pos + static_cast<std::size_t>(i)];
+      if (c < '0' || c > '9') return false;
+    }
+    pos += static_cast<std::size_t>(width);
+  }
+  return name.compare(pos, std::string::npos, suffix) == 0;
+}
+
+namespace {
+
+void require_valid_owner(const std::string& owner) {
+  if (!valid_store_owner(owner))
+    throw std::invalid_argument(
+        "store owner '" + owner +
+        "' invalid: only [A-Za-z0-9.-] allowed (no '_', which would make the "
+        "name parse as another owner's)");
+}
+
+// Per-process registry backing CheckpointOwnerClaim. Keyed by the directory
+// string exactly as the engine configured it -- the point is disambiguating
+// engines that were handed the SAME config, not defeating aliased paths.
+std::mutex& claim_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, std::set<std::string>>& claim_registry() {
+  static std::map<std::string, std::set<std::string>> reg;
+  return reg;
+}
+
+}  // namespace
+
+CheckpointOwnerClaim CheckpointOwnerClaim::claim(const std::string& dir) {
+  CheckpointOwnerClaim c;
+  c.dir_ = dir;
+  std::lock_guard<std::mutex> lock(claim_mutex());
+  auto& owners = claim_registry()[dir];
+  if (!owners.count("")) {
+    c.owner_ = "";
+  } else {
+    for (int i = 1;; ++i) {
+      std::string candidate = "e" + std::to_string(i);
+      if (!owners.count(candidate)) {
+        c.owner_ = std::move(candidate);
+        break;
+      }
+    }
+  }
+  owners.insert(c.owner_);
+  c.active_ = true;
+  return c;
+}
+
+void CheckpointOwnerClaim::release() {
+  if (!active_) return;
+  active_ = false;
+  std::lock_guard<std::mutex> lock(claim_mutex());
+  auto it = claim_registry().find(dir_);
+  if (it == claim_registry().end()) return;
+  it->second.erase(owner_);
+  if (it->second.empty()) claim_registry().erase(it);
+}
+
+CheckpointStore::CheckpointStore(std::string dir, int keep, std::string owner)
+    : dir_(std::move(dir)), keep_(std::max(1, keep)), owner_(std::move(owner)) {
+  require_valid_owner(owner_);
   std::error_code ec;
   fs::create_directories(dir_, ec);
 }
@@ -582,8 +676,7 @@ std::vector<std::string> CheckpointStore::files() const {
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind("ckpt_", 0) == 0 && name.size() > 10 &&
-        name.substr(name.size() - 5) == ".afmm")
+    if (match_owned_snapshot(name, owner_, "ckpt_", {10}, ".afmm"))
       out.push_back(entry.path().string());
   }
   // Step numbers are zero-padded, so lexicographic descending = newest first.
@@ -594,7 +687,9 @@ std::vector<std::string> CheckpointStore::files() const {
 bool CheckpointStore::save(const SimCheckpoint& ckpt, std::string* error) {
   char name[32];
   std::snprintf(name, sizeof name, "ckpt_%010d.afmm", ckpt.step);
-  const std::string path = (fs::path(dir_) / name).string();
+  const std::string file =
+      owner_.empty() ? std::string(name) : owner_ + "_" + name;
+  const std::string path = (fs::path(dir_) / file).string();
   if (!save_checkpoint_file(path, ckpt, error)) return false;
   const auto all = files();
   for (std::size_t i = static_cast<std::size_t>(keep_); i < all.size(); ++i) {

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <span>
 #include <string>
@@ -94,25 +95,93 @@ bool save_checkpoint_file(const std::string& path, const SimCheckpoint& ckpt,
 std::optional<SimCheckpoint> load_checkpoint_file(const std::string& path,
                                                   std::string* error = nullptr);
 
-// Rotating on-disk snapshot store: `dir/ckpt_<step>.afmm`, newest `keep`
-// files retained. load_latest() walks newest-first and silently skips any
-// snapshot that fails validation -- a crash mid-write therefore costs at most
-// one checkpoint interval of progress, never the run.
+// Owner prefixes namespace several stores inside ONE directory. A store with
+// an empty owner uses the legacy `ckpt_<step>.afmm` names; a store with owner
+// "alice" reads and writes `alice_ckpt_<step>.afmm` only. Rotation, listing
+// and load_latest() are all scoped to the store's exact owner pattern, so two
+// stores sharing a directory can never delete or adopt each other's
+// snapshots (the multi-tenant service keeps one store per session in one
+// shared directory this way). Owners are restricted to [A-Za-z0-9.-] --
+// in particular no '_' -- so an owner-prefixed name can never parse as a
+// different owner's (or the bare) pattern; an invalid owner throws
+// std::invalid_argument at construction.
+bool valid_store_owner(const std::string& owner);
+
+// Strict snapshot-filename matcher shared by CheckpointStore and ShardStore:
+// true iff `name` is EXACTLY `[<owner>_]<stem>` followed by '_'-separated
+// fixed-width digit groups and then `suffix`. Unlike a prefix test this
+// rejects look-alikes such as `ckpt_ckpt_0000000042.afmm` (an owner named
+// "ckpt" under the old loose rules) or padded/garbled step fields, so a
+// store can never adopt -- or rotate away -- a file it did not write.
+bool match_owned_snapshot(const std::string& name, const std::string& owner,
+                          const std::string& stem,
+                          std::initializer_list<int> digit_groups,
+                          const std::string& suffix);
+
+// Rotating on-disk snapshot store: `dir/[<owner>_]ckpt_<step>.afmm`, newest
+// `keep` files retained. load_latest() walks newest-first and silently skips
+// any snapshot that fails validation -- a crash mid-write therefore costs at
+// most one checkpoint interval of progress, never the run.
 class CheckpointStore {
  public:
-  explicit CheckpointStore(std::string dir, int keep = 3);
+  explicit CheckpointStore(std::string dir, int keep = 3,
+                           std::string owner = "");
 
   bool save(const SimCheckpoint& ckpt, std::string* error = nullptr);
   std::optional<SimCheckpoint> load_latest(std::string* error = nullptr) const;
 
-  // Snapshot paths, newest (highest step) first.
+  // Snapshot paths OF THIS OWNER, newest (highest step) first.
   std::vector<std::string> files() const;
   const std::string& dir() const { return dir_; }
   int keep() const { return keep_; }
+  const std::string& owner() const { return owner_; }
 
  private:
   std::string dir_;
   int keep_;
+  std::string owner_;
+};
+
+// Process-wide default-owner disambiguation for engines that configure a
+// checkpoint directory without naming an owner. claim(dir) hands out the
+// first free owner for that directory -- "" (the legacy bare names) to the
+// first claimant, then "e1", "e2", ... -- so several engines constructed in
+// one process with the SAME checkpoint_dir never rotate each other's
+// `ckpt_<step>.afmm` files. The claim is released on destruction (move-aware),
+// so sequential engines (run, destroy, resume) keep the stable bare names a
+// cross-process resume looks for.
+class CheckpointOwnerClaim {
+ public:
+  CheckpointOwnerClaim() = default;
+  static CheckpointOwnerClaim claim(const std::string& dir);
+  ~CheckpointOwnerClaim() { release(); }
+  CheckpointOwnerClaim(CheckpointOwnerClaim&& other) noexcept
+      : dir_(std::move(other.dir_)),
+        owner_(std::move(other.owner_)),
+        active_(other.active_) {
+    other.active_ = false;
+  }
+  CheckpointOwnerClaim& operator=(CheckpointOwnerClaim&& other) noexcept {
+    if (this != &other) {
+      release();
+      dir_ = std::move(other.dir_);
+      owner_ = std::move(other.owner_);
+      active_ = other.active_;
+      other.active_ = false;
+    }
+    return *this;
+  }
+  CheckpointOwnerClaim(const CheckpointOwnerClaim&) = delete;
+  CheckpointOwnerClaim& operator=(const CheckpointOwnerClaim&) = delete;
+
+  const std::string& owner() const { return owner_; }
+  bool active() const { return active_; }
+
+ private:
+  void release();
+  std::string dir_;
+  std::string owner_;
+  bool active_ = false;
 };
 
 // Resilience policy of a simulation: how often to checkpoint and audit, and
@@ -122,6 +191,11 @@ struct ResilienceConfig {
   int checkpoint_interval = 0;  // steps between snapshots; 0 = no snapshots
   std::string checkpoint_dir;   // empty = in-memory rollback only
   int checkpoint_keep = 3;      // on-disk snapshots retained
+  // Filename namespace inside checkpoint_dir ([A-Za-z0-9.-], no '_').
+  // Empty = auto: the first engine on a dir in this process gets the legacy
+  // bare `ckpt_*.afmm` names, concurrent later ones get "e1", "e2", ...
+  // (see CheckpointOwnerClaim). The service sets this to the session id.
+  std::string checkpoint_owner;
   AuditConfig audit;            // audit.interval 0 = no audits
   WatchdogConfig watchdog;
   // React to a failed audit / tripped watchdog by restoring the last good

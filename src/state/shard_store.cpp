@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 
 #include "state/checkpoint_detail.hpp"
 #include "state/serial.hpp"
@@ -359,22 +360,33 @@ std::optional<ManifestData> decode_manifest(
   return m;
 }
 
-int step_of_manifest(const std::string& path) {
-  // manifest_<step>.afms
-  const std::string name = fs::path(path).filename().string();
-  return std::atoi(name.substr(9, 10).c_str());
+std::string owned_name(const std::string& owner, const char* bare) {
+  return owner.empty() ? std::string(bare) : owner + "_" + bare;
 }
 
-std::string shard_path(const std::string& dir, int step, int k) {
+int step_of_manifest(const std::string& path, const std::string& owner) {
+  // [<owner>_]manifest_<step>.afms
+  const std::string name = fs::path(path).filename().string();
+  const std::size_t at = owned_name(owner, "manifest_").size();
+  return std::atoi(name.substr(at, 10).c_str());
+}
+
+std::string shard_path(const std::string& dir, const std::string& owner,
+                       int step, int k) {
   char name[48];
   std::snprintf(name, sizeof name, "shard_%010d_%04d.afms", step, k);
-  return (fs::path(dir) / name).string();
+  return (fs::path(dir) / owned_name(owner, name)).string();
 }
 
 }  // namespace
 
-ShardStore::ShardStore(std::string dir, int keep)
-    : dir_(std::move(dir)), keep_(std::max(1, keep)) {
+ShardStore::ShardStore(std::string dir, int keep, std::string owner)
+    : dir_(std::move(dir)), keep_(std::max(1, keep)), owner_(std::move(owner)) {
+  if (!valid_store_owner(owner_))
+    throw std::invalid_argument(
+        "store owner '" + owner_ +
+        "' invalid: only [A-Za-z0-9.-] allowed (no '_', which would make the "
+        "name parse as another owner's)");
   std::error_code ec;
   fs::create_directories(dir_, ec);
 }
@@ -384,8 +396,7 @@ std::vector<std::string> ShardStore::manifests() const {
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind("manifest_", 0) == 0 && name.size() > 14 &&
-        name.substr(name.size() - 5) == ".afms")
+    if (match_owned_snapshot(name, owner_, "manifest_", {10}, ".afms"))
       out.push_back(entry.path().string());
   }
   std::sort(out.rbegin(), out.rend());  // zero-padded steps: newest first
@@ -415,24 +426,27 @@ bool ShardStore::save(const ShardedCheckpoint& ckpt, std::string* error) {
     entries[k].end = ckpt.ranges[k].second;
     entries[k].file_size = bytes.size();
     entries[k].file_crc = crc32(bytes);
-    if (!write_file_atomic(shard_path(dir_, g.step, static_cast<int>(k)),
-                           bytes, error))
+    if (!write_file_atomic(
+            shard_path(dir_, owner_, g.step, static_cast<int>(k)), bytes,
+            error))
       return false;
   }
   char name[32];
   std::snprintf(name, sizeof name, "manifest_%010d.afms", g.step);
-  if (!write_file_atomic((fs::path(dir_) / name).string(),
+  if (!write_file_atomic((fs::path(dir_) / owned_name(owner_, name)).string(),
                          encode_manifest(ckpt, flags, entries), error))
     return false;
 
-  // Prune coordinated sets beyond the keep budget (manifest + its shards).
+  // Prune OUR coordinated sets beyond the keep budget (manifest + shards);
+  // another owner's sets in the same directory are invisible to manifests()
+  // and therefore never rotated away from under it.
   const auto all = manifests();
   for (std::size_t i = static_cast<std::size_t>(keep_); i < all.size(); ++i) {
-    const int step = step_of_manifest(all[i]);
+    const int step = step_of_manifest(all[i], owner_);
     std::error_code ec;
     fs::remove(all[i], ec);
     for (int k = 0;; ++k) {
-      const std::string p = shard_path(dir_, step, k);
+      const std::string p = shard_path(dir_, owner_, step, k);
       if (!fs::exists(p, ec)) break;
       fs::remove(p, ec);
     }
@@ -468,7 +482,7 @@ std::optional<ShardedCheckpoint> ShardStore::load_latest(
     bool ok = true;
     for (std::size_t k = 0; k < m->entries.size() && ok; ++k) {
       const auto shard_bytes =
-          read_file(shard_path(dir_, g.step, static_cast<int>(k)));
+          read_file(shard_path(dir_, owner_, g.step, static_cast<int>(k)));
       if (!shard_bytes || shard_bytes->size() != m->entries[k].file_size ||
           crc32(*shard_bytes) != m->entries[k].file_crc ||
           !decode_shard_file(*shard_bytes, static_cast<int>(k), m->entries[k],

@@ -56,9 +56,14 @@ struct ShardedCheckpoint {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
 };
 
+// Like CheckpointStore, a ShardStore carries an owner namespace: with owner
+// "n0" every file becomes `n0_manifest_*.afms` / `n0_shard_*.afms`, and
+// listing / rotation / load_latest() see ONLY that owner's coordinated sets.
+// Owners follow the same [A-Za-z0-9.-] charset (std::invalid_argument
+// otherwise); the empty owner keeps the legacy bare names.
 class ShardStore {
  public:
-  explicit ShardStore(std::string dir, int keep = 2);
+  explicit ShardStore(std::string dir, int keep = 2, std::string owner = "");
 
   // Writes shard files then the manifest (the commit point) and prunes sets
   // beyond the keep budget, oldest first.
@@ -69,14 +74,16 @@ class ShardStore {
   std::optional<ShardedCheckpoint> load_latest(
       std::string* error = nullptr) const;
 
-  // Manifest paths, newest (highest step) first.
+  // Manifest paths OF THIS OWNER, newest (highest step) first.
   std::vector<std::string> manifests() const;
   const std::string& dir() const { return dir_; }
   int keep() const { return keep_; }
+  const std::string& owner() const { return owner_; }
 
  private:
   std::string dir_;
   int keep_;
+  std::string owner_;
 };
 
 }  // namespace afmm

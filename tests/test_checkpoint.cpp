@@ -3,11 +3,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
+#include <utility>
 
 #include "core/simulation.hpp"
 #include "core/stokes_simulation.hpp"
 #include "dist/distributions.hpp"
 #include "state/serial.hpp"
+#include "state/shard_store.hpp"
 #include "util/rng.hpp"
 
 namespace afmm {
@@ -334,6 +337,144 @@ TEST(Checkpoint, StokesRestoredRunIsBitIdentical) {
     EXPECT_EQ(straight.positions()[i], resumed.positions()[i]);
     EXPECT_EQ(straight.velocities()[i], resumed.velocities()[i]);
   }
+}
+
+// ---- owner-namespaced stores (multi-tenant service) ------------------------
+
+TEST(CheckpointStore, OwnerPrefixesFilenames) {
+  const std::string dir = fresh_dir("ckpt_owner_prefix");
+  CheckpointStore store(dir, 3, "sA");
+  EXPECT_EQ(store.owner(), "sA");
+  GravitySimulation sim(base_config(), default_node(), test_bodies(300));
+  for (int i = 0; i < 2; ++i) {
+    sim.step();
+    ASSERT_TRUE(store.save(sim.checkpoint()));
+  }
+  const auto files = store.files();
+  ASSERT_EQ(files.size(), 2u);
+  for (const auto& f : files) {
+    const std::string name = fs::path(f).filename().string();
+    EXPECT_EQ(name.rfind("sA_ckpt_", 0), 0u) << name;
+  }
+  const auto latest = store.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->step, 2);
+}
+
+TEST(CheckpointStore, OwnersAreIsolatedInOneDirectory) {
+  const std::string dir = fresh_dir("ckpt_owner_isolation");
+  CheckpointStore a(dir, 1, "a");
+  CheckpointStore b(dir, 1, "b");
+  CheckpointStore legacy(dir, 1);
+  GravitySimulation sim(base_config(), default_node(), test_bodies(300));
+  sim.step();
+  ASSERT_TRUE(a.save(sim.checkpoint()));
+  ASSERT_TRUE(b.save(sim.checkpoint()));
+  ASSERT_TRUE(legacy.save(sim.checkpoint()));
+  sim.step();
+  // a rotates (keep=1) without touching b's or the legacy store's snapshot.
+  ASSERT_TRUE(a.save(sim.checkpoint()));
+  EXPECT_EQ(a.files().size(), 1u);
+  EXPECT_EQ(b.files().size(), 1u);
+  EXPECT_EQ(legacy.files().size(), 1u);
+  EXPECT_EQ(a.load_latest()->step, 2);
+  EXPECT_EQ(b.load_latest()->step, 1);
+  EXPECT_EQ(legacy.load_latest()->step, 1);
+}
+
+TEST(CheckpointStore, StrictMatchingRejectsLookAlikeNames) {
+  // Regression guard: an owner named "ckpt" writes ckpt_ckpt_<step>.afmm. A
+  // loose starts-with("ckpt_") match -- the pre-owner behavior -- would list
+  // that file in the UNOWNED store and corrupt its rotation; the strict
+  // matcher requires exactly one 10-digit group after the stem.
+  const std::string dir = fresh_dir("ckpt_lookalike");
+  CheckpointStore owned(dir, 3, "ckpt");
+  GravitySimulation sim(base_config(), default_node(), test_bodies(300));
+  sim.step();
+  ASSERT_TRUE(owned.save(sim.checkpoint()));
+  ASSERT_EQ(owned.files().size(), 1u);
+
+  CheckpointStore legacy(dir, 3);
+  EXPECT_TRUE(legacy.files().empty());
+
+  // Malformed bare names are rejected too (wrong digit count, extra suffix).
+  std::ofstream(dir + "/ckpt_12345.afmm") << "x";
+  std::ofstream(dir + "/ckpt_0000000001.afmm.bak") << "x";
+  EXPECT_TRUE(legacy.files().empty());
+  EXPECT_EQ(owned.files().size(), 1u);
+}
+
+TEST(CheckpointStore, InvalidOwnerRejected) {
+  const std::string dir = fresh_dir("ckpt_bad_owner");
+  EXPECT_THROW(CheckpointStore(dir, 2, "bad_owner"), std::invalid_argument);
+  EXPECT_THROW(ShardStore(dir, 2, "has space"), std::invalid_argument);
+  EXPECT_NO_THROW(CheckpointStore(dir, 2, "A-9.x"));
+}
+
+TEST(CheckpointStore, OwnerClaimAssignsDistinctNamespaces) {
+  const std::string dir = fresh_dir("ckpt_claim");
+  auto c1 = CheckpointOwnerClaim::claim(dir);
+  EXPECT_TRUE(c1.active());
+  EXPECT_EQ(c1.owner(), "");  // first claimant keeps the legacy bare names
+  {
+    auto c2 = CheckpointOwnerClaim::claim(dir);
+    EXPECT_EQ(c2.owner(), "e1");
+    auto c3 = CheckpointOwnerClaim::claim(dir);
+    EXPECT_EQ(c3.owner(), "e2");
+  }
+  // c2/c3 released on scope exit; their namespaces are reusable.
+  auto c4 = CheckpointOwnerClaim::claim(dir);
+  EXPECT_EQ(c4.owner(), "e1");
+
+  CheckpointOwnerClaim moved = std::move(c1);
+  EXPECT_TRUE(moved.active());
+  EXPECT_FALSE(c1.active());  // NOLINT(bugprone-use-after-move): deliberate
+}
+
+TEST(CheckpointStore, EngineAutoClaimAvoidsSharedDirCollision) {
+  // Two engines configured with the SAME checkpoint dir (the default-config
+  // trap this satellite fixes): each auto-claims its own namespace, so
+  // neither clobbers or rotates away the other's snapshots.
+  const std::string dir = fresh_dir("ckpt_shared_dir");
+  auto cfg = base_config();
+  cfg.resilience.checkpoint_interval = 1;
+  cfg.resilience.checkpoint_dir = dir;
+  cfg.resilience.checkpoint_keep = 3;
+  GravitySimulation sim1(cfg, default_node(), test_bodies(300));
+  GravitySimulation sim2(cfg, default_node(), test_bodies(400));
+  sim1.run(2);
+  sim2.run(3);
+  ASSERT_NE(sim1.store(), nullptr);
+  ASSERT_NE(sim2.store(), nullptr);
+  EXPECT_NE(sim1.store()->owner(), sim2.store()->owner());
+  EXPECT_EQ(sim1.store()->load_latest()->step, 2);
+  EXPECT_EQ(sim2.store()->load_latest()->step, 3);
+}
+
+TEST(ShardStore, OwnerPrefixesAndIsolation) {
+  const std::string dir = fresh_dir("shard_owner");
+  GravitySimulation sim(base_config(), default_node(), test_bodies(300));
+  sim.step();
+  ShardedCheckpoint ckpt;
+  ckpt.global = sim.checkpoint();
+  ckpt.cluster_blob = {1, 2, 3};
+  ckpt.ranges = {{0, 150}, {150, 300}};
+
+  ShardStore owned(dir, 2, "n0");
+  EXPECT_EQ(owned.owner(), "n0");
+  std::string error;
+  ASSERT_TRUE(owned.save(ckpt, &error)) << error;
+  ASSERT_EQ(owned.manifests().size(), 1u);
+  EXPECT_EQ(fs::path(owned.manifests()[0]).filename().string().rfind(
+                "n0_manifest_", 0),
+            0u);
+
+  ShardStore legacy(dir, 2);
+  EXPECT_TRUE(legacy.manifests().empty());
+  const auto back = owned.load_latest(&error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->global.step, 1);
+  EXPECT_EQ(back->cluster_blob, ckpt.cluster_blob);
 }
 
 TEST(Checkpoint, SimulationStoreWritesOnCadence) {
